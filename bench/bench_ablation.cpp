@@ -1,0 +1,111 @@
+// Ablation studies of the design choices called out in DESIGN.md:
+//   (a) HDAC p-function sensitivity (alpha, beta) in Condition A;
+//   (b) TASR trigger sensitivity (gamma, N_R) and TASR vs plain SR in
+//       Condition B — the false-positive behaviour at small T that
+//       motivates the T_l gate (paper §IV-B);
+//   (c) EDAM with and without its own SR.
+
+#include <cstdio>
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr std::size_t kRows = 192;
+constexpr std::size_t kReads = 256;
+
+asmcap::Dataset make_dataset(bool condition_a, std::uint64_t seed) {
+  asmcap::Rng rng(seed);
+  return asmcap::build_dataset(condition_a
+                                   ? asmcap::condition_a_config(kRows, kReads)
+                                   : asmcap::condition_b_config(kRows, kReads),
+                               rng);
+}
+
+double mean_full_f1(const asmcap::Dataset& dataset,
+                    const asmcap::Fig7Config& config,
+                    const std::vector<std::size_t>& thresholds,
+                    std::uint64_t seed) {
+  asmcap::Rng rng(seed);
+  const asmcap::Fig7Series series =
+      asmcap::Fig7Runner(config).run(dataset, thresholds, rng);
+  return series.mean(&asmcap::Fig7Point::asmcap_full);
+}
+
+void hdac_ablation(const asmcap::Dataset& condition_a) {
+  const std::vector<std::size_t> thresholds{1, 2, 3, 4, 5, 6, 7, 8};
+  asmcap::Table table({"alpha", "beta", "mean F1(%) w/ strategies"});
+  for (const double alpha : {0.0, 50.0, 200.0, 800.0}) {
+    for (const double beta : {0.0, 0.5, 2.0}) {
+      asmcap::Fig7Config config;
+      config.asmcap.array_rows = kRows;
+      config.asmcap.hdac.alpha = alpha;
+      config.asmcap.hdac.beta = beta;
+      const double f1 = mean_full_f1(condition_a, config, thresholds, 0xAB1);
+      table.new_row().add_cell(alpha, 3).add_cell(beta, 2).add_cell(100 * f1, 4);
+    }
+  }
+  asmcap::print_report(std::cout,
+                       "HDAC p-function ablation (Condition A; paper uses "
+                       "alpha=200, beta=0.5)",
+                       table);
+}
+
+void tasr_ablation(const asmcap::Dataset& condition_b) {
+  const std::vector<std::size_t> thresholds{2, 4, 6, 8, 10, 12, 14, 16};
+  asmcap::Table table({"gamma", "N_R", "T_l(m=256)", "mean F1(%)"});
+  for (const double gamma : {0.0, 1e-4, 2e-4, 8e-4}) {
+    for (const std::size_t rotations : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}}) {
+      asmcap::Fig7Config config;
+      config.asmcap.array_rows = kRows;
+      config.asmcap.tasr.gamma = gamma;
+      config.asmcap.tasr.rotations = rotations;
+      const std::size_t tl = asmcap::tasr_lower_bound(
+          config.asmcap.tasr, condition_b.rates, 256);
+      const double f1 = mean_full_f1(condition_b, config, thresholds, 0xAB2);
+      table.new_row()
+          .add_cell(gamma, 2)
+          .add_cell(rotations)
+          .add_cell(tl)
+          .add_cell(100 * f1, 4);
+    }
+  }
+  asmcap::print_report(
+      std::cout,
+      "TASR ablation (Condition B; gamma=0 degenerates to unconditional SR; "
+      "paper uses gamma=2e-4, N_R=2)",
+      table);
+}
+
+void edam_sr_ablation(const asmcap::Dataset& condition_b) {
+  const std::vector<std::size_t> thresholds{2, 4, 6, 8, 10, 12, 14, 16};
+  asmcap::Table table({"EDAM variant", "mean F1(%)"});
+  for (const bool sr : {false, true}) {
+    asmcap::Fig7Config config;
+    config.asmcap.array_rows = kRows;
+    config.edam_sr_enabled = sr;
+    asmcap::Rng rng(0xAB3);
+    const asmcap::Fig7Series series =
+        asmcap::Fig7Runner(config).run(condition_b, thresholds, rng);
+    table.new_row()
+        .add_cell(sr ? "with SR (unconditional rotation)" : "plain ED*")
+        .add_cell(100 * series.mean(&asmcap::Fig7Point::edam), 4);
+  }
+  asmcap::print_report(std::cout, "EDAM +/- SR (Condition B)", table);
+}
+
+}  // namespace
+
+int main() {
+  const asmcap::Dataset condition_a = make_dataset(true, 0xDA7A);
+  const asmcap::Dataset condition_b = make_dataset(false, 0xDA7B);
+  hdac_ablation(condition_a);
+  tasr_ablation(condition_b);
+  edam_sr_ablation(condition_b);
+  std::puts("done");
+  return 0;
+}

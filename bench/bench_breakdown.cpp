@@ -1,0 +1,57 @@
+// Reproduces paper §V-B: area and power breakdown of a 256x256 ASMCap
+// array (1.58 mm², 7.67 mW; cells >99 % of area; cells/shift-registers/SAs
+// = 75/19/6 % of power), plus the sensitivity of the power figure to the
+// workload mismatch statistics (see EXPERIMENTS.md for the discussion).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "circuit/power.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/table.h"
+
+namespace {
+
+void report_breakdown() {
+  const asmcap::ProcessParams process;
+  const auto breakdown = asmcap::run_breakdown(process, 256, 256);
+  asmcap::print_report(
+      std::cout,
+      "SecV-B: area & power breakdown of a 256x256 ASMCap array "
+      "(paper: 1.58mm^2, 7.67mW, 75/19/6%)",
+      asmcap::breakdown_table(breakdown));
+
+  // Sensitivity: array power vs workload mismatch fraction. The paper's
+  // figure assumes n_mis close to N; the ED* statistics of unrelated random
+  // rows give n_mis/N ~ 0.42, which costs more energy (Eq. 1 peaks at N/2).
+  const asmcap::PowerModel power(process);
+  asmcap::Table table({"n_mis/N", "Array power", "Energy/search"});
+  for (const double fraction : {0.10, 0.42, 0.50, 0.75, 0.9725}) {
+    const auto bp = power.asmcap_array_power(256, 256, fraction * 256.0);
+    table.new_row()
+        .add_cell(fraction, 3)
+        .add_cell(asmcap::format_si(bp.total, "W"))
+        .add_cell(asmcap::format_si(bp.energy_per_search, "J"));
+  }
+  asmcap::print_report(std::cout,
+                       "Power vs workload mismatch statistics (Eq. 1)", table);
+}
+
+void BM_PowerModel(benchmark::State& state) {
+  const asmcap::PowerModel power{asmcap::ProcessParams{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power.asmcap_array_power(256, 256, 108.0));
+  }
+}
+BENCHMARK(BM_PowerModel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_breakdown();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

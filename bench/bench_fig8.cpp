@@ -1,0 +1,93 @@
+// Reproduces paper Fig. 8: speedup and energy efficiency of ASMCap (w/ and
+// w/o HDAC & TASR) against CM-CPU, ReSMA, SaVI, and EDAM on 256-base reads
+// with the full 64 Mb (512-array) stored reference.
+//
+// Paper headline (w/ H&T): 4.7e4x / 174x / 61x / 1.4x speedup and
+// 2.0e6x / 8.7e3x / 943x / 10.8x energy efficiency vs the four baselines.
+// Absolute CPU numbers are additionally cross-calibrated against the
+// measured kernel throughput of this host (see the second table).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "align/myers.h"
+#include "asmcap/config.h"
+#include "eval/report.h"
+#include "genome/reference.h"
+#include "perf/comparison.h"
+#include "perf/system_model.h"
+#include "util/table.h"
+
+namespace {
+
+/// Measures this host's Myers kernel throughput (word-ops/s) so the CM-CPU
+/// estimate can be grounded in a real measurement instead of a constant.
+double measure_word_ops_per_second() {
+  asmcap::Rng rng(77);
+  const asmcap::Sequence pattern = asmcap::Sequence::random(256, rng);
+  const asmcap::Sequence text = asmcap::Sequence::random(256, rng);
+  const asmcap::MyersPattern kernel(pattern);
+  // Warm up, then time.
+  volatile std::size_t sink = 0;
+  for (int i = 0; i < 100; ++i) sink = sink + kernel.distance(text);
+  const auto start = std::chrono::steady_clock::now();
+  constexpr int kIterations = 4000;
+  for (int i = 0; i < kIterations; ++i) sink = sink + kernel.distance(text);
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  const double word_ops = static_cast<double>(kIterations) * 256.0 * 4.0;
+  return word_ops / seconds;
+}
+
+void report_fig8(const asmcap::CmCpuConfig& cpu, const std::string& label) {
+  const asmcap::AsmcapConfig asmcap_config;
+  const asmcap::SystemModel model(asmcap_config, cpu);
+  asmcap::PerfWorkload workload;  // 512 x 256 segments, 256-base reads
+
+  const auto estimates = model.estimate_all(workload);
+  asmcap::print_report(
+      std::cout, "Fig.8 normalised to CM-CPU -- " + label,
+      asmcap::comparison_table(asmcap::normalize_to_first(estimates)));
+
+  // The paper's sentences: ASMCap w/ H&T vs each baseline.
+  asmcap::print_report(
+      std::cout,
+      "ASMCap w/ H./T. vs baselines (paper: 4.7e4x/174x/61x/1.4x speed, "
+      "2.0e6x/8.7e3x/943x/10.8x energy) -- " + label,
+      asmcap::comparison_table(asmcap::ratios_against(estimates, 5)));
+  asmcap::print_report(
+      std::cout,
+      "ASMCap w/o H./T. vs baselines (paper: 9.7e4x/362x/126x/2.8x speed, "
+      "5.1e6x/2.3e4x/2.4e3x/28x energy) -- " + label,
+      asmcap::comparison_table(asmcap::ratios_against(estimates, 4)));
+}
+
+void BM_SystemModel(benchmark::State& state) {
+  const asmcap::SystemModel model{asmcap::AsmcapConfig{}};
+  const asmcap::PerfWorkload workload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.estimate_all(workload));
+  }
+}
+BENCHMARK(BM_SystemModel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_fig8(asmcap::CmCpuConfig{}, "modelled i9-10980XE (18 threads)");
+
+  asmcap::CmCpuConfig measured;
+  measured.word_ops_per_second = measure_word_ops_per_second();
+  measured.threads = 1;
+  measured.cpu_power_watts = 35.0;  // single active core envelope
+  std::cout << "Measured Myers kernel on this host: "
+            << asmcap::format_si(measured.word_ops_per_second, "ops/s")
+            << " (single thread)\n\n";
+  report_fig8(measured, "measured single-core CPU of this host");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

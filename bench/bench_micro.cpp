@@ -1,0 +1,113 @@
+// Micro-benchmarks of the alignment kernels and the functional CAM model.
+// BM_BandedDp / BM_MyersGlobal also serve as the measured calibration for
+// the CM-CPU baseline of Fig. 8.
+
+#include <benchmark/benchmark.h>
+
+#include "align/edit_distance.h"
+#include "align/edstar.h"
+#include "align/hamming.h"
+#include "align/myers.h"
+#include "asmcap/accelerator.h"
+#include "cam/array.h"
+#include "genome/reference.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace asmcap;
+
+Sequence random_seq(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return Sequence::random(n, rng);
+}
+
+void BM_FullDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Sequence a = random_seq(n, 1);
+  const Sequence b = random_seq(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(edit_distance(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n);  // DP cells
+}
+BENCHMARK(BM_FullDp)->Arg(64)->Arg(256);
+
+void BM_BandedDp(benchmark::State& state) {
+  const Sequence a = random_seq(256, 3);
+  const Sequence b = random_seq(256, 4);
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(banded_edit_distance(a, b, cap));
+  state.SetItemsProcessed(state.iterations() * 256 * (2 * cap + 1));
+}
+BENCHMARK(BM_BandedDp)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MyersGlobal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Sequence a = random_seq(n, 5);
+  const Sequence b = random_seq(n, 6);
+  const MyersPattern pattern(a);
+  for (auto _ : state) benchmark::DoNotOptimize(pattern.distance(b));
+  state.SetItemsProcessed(state.iterations() * n * ((n + 63) / 64));
+}
+BENCHMARK(BM_MyersGlobal)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MyersSemiGlobalScan(benchmark::State& state) {
+  // 256-base read scanned over a 30 kb virus-scale reference: the CM-CPU
+  // workload unit of Fig. 8.
+  const Sequence read = random_seq(256, 7);
+  const Sequence reference = random_seq(30000, 8);
+  const MyersPattern pattern(read);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pattern.best_semiglobal(reference));
+  state.SetItemsProcessed(state.iterations() * reference.size());
+}
+BENCHMARK(BM_MyersSemiGlobalScan);
+
+void BM_Hamming(benchmark::State& state) {
+  const Sequence a = random_seq(256, 9);
+  const Sequence b = random_seq(256, 10);
+  for (auto _ : state) benchmark::DoNotOptimize(hamming_distance(a, b));
+}
+BENCHMARK(BM_Hamming);
+
+void BM_EdStar(benchmark::State& state) {
+  const Sequence a = random_seq(256, 11);
+  const Sequence b = random_seq(256, 12);
+  for (auto _ : state) benchmark::DoNotOptimize(ed_star(a, b));
+}
+BENCHMARK(BM_EdStar);
+
+void BM_CamArraySearch(benchmark::State& state) {
+  Rng rng(13);
+  CamArray array(256, 256);
+  for (std::size_t r = 0; r < 256; ++r)
+    array.write_row(r, Sequence::random(256, rng));
+  const Sequence read = Sequence::random(256, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(array.search_counts(read, MatchMode::EdStar));
+  state.SetItemsProcessed(state.iterations() * 256 * 256);  // cells
+}
+BENCHMARK(BM_CamArraySearch);
+
+void BM_AcceleratorQuery(benchmark::State& state) {
+  AsmcapConfig config;
+  config.array_rows = 256;
+  config.array_cols = 256;
+  config.array_count = 1;
+  AsmcapAccelerator accel(config);
+  Rng rng(14);
+  const Sequence reference = generate_reference(256 * 257 + 512, {}, rng);
+  auto segments = segment_reference(reference, 256);
+  segments.resize(256);
+  accel.load_reference(segments);
+  accel.set_error_profile(ErrorRates::condition_a());
+  const Sequence read = segments[100];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(accel.search(read, 4, StrategyMode::Full));
+  state.SetItemsProcessed(state.iterations() * 256);  // rows per query
+}
+BENCHMARK(BM_AcceleratorQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

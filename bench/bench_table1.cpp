@@ -1,0 +1,62 @@
+// Reproduces paper Table I: circuit-level comparison between ASMCap and
+// EDAM (cell area, search time, average power per cell) from the 65 nm
+// device models, plus google-benchmark timings of the two readout paths.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "cam/charge_readout.h"
+#include "cam/current_readout.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace {
+
+void report_table1() {
+  const asmcap::ProcessParams process;
+  const auto rows = asmcap::run_table1(process);
+  asmcap::print_report(std::cout,
+                       "Table I: circuit-level comparison (paper: area 1.4x, "
+                       "search time 2.6x, power 8.5x)",
+                       asmcap::table1_table(rows));
+}
+
+// Functional-simulator throughput of the two sensing models (not silicon
+// time; silicon time is the analytic 0.9 ns / 2.4 ns above).
+void BM_ChargeReadoutSense(benchmark::State& state) {
+  asmcap::Rng rng(1);
+  asmcap::ChargeArrayReadout readout(256, 256, {}, rng);
+  asmcap::BitVec mask(256);
+  for (std::size_t i = 0; i < 100; ++i) mask.set(i * 2);
+  std::vector<asmcap::BitVec> masks(256, mask);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(readout.sense(masks, 8, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ChargeReadoutSense);
+
+void BM_CurrentReadoutSense(benchmark::State& state) {
+  asmcap::Rng rng(2);
+  asmcap::CurrentArrayReadout readout(256, 256, {}, rng);
+  asmcap::BitVec mask(256);
+  for (std::size_t i = 0; i < 100; ++i) mask.set(i * 2);
+  std::vector<asmcap::BitVec> masks(256, mask);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(readout.sense(masks, 8, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CurrentReadoutSense);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Accuracy sweep: a configurable, smaller-scale version of the Fig. 7
+// experiment for interactive exploration. Lets you vary the error rates,
+// dataset size, and thresholds from the command line.
+//
+//   ./accuracy_sweep [es] [ei] [ed] [rows] [reads]
+//   e.g. ./accuracy_sweep 0.01 0.0005 0.0005 128 192
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace asmcap;
+  ErrorRates rates = ErrorRates::condition_a();
+  if (argc > 3) {
+    rates.substitution = std::strtod(argv[1], nullptr);
+    rates.insertion = std::strtod(argv[2], nullptr);
+    rates.deletion = std::strtod(argv[3], nullptr);
+  }
+  const std::size_t rows =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 128;
+  const std::size_t reads =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 192;
+
+  DatasetConfig config;
+  config.rows = rows;
+  config.reads = reads;
+  config.rates = rates;
+  char name[128];
+  std::snprintf(name, sizeof name, "es=%.3g%% ei=%.3g%% ed=%.3g%%",
+                100 * rates.substitution, 100 * rates.insertion,
+                100 * rates.deletion);
+  config.name = name;
+
+  Rng rng(0xACC5);
+  const Dataset dataset = build_dataset(config, rng);
+
+  Fig7Config fig7;
+  fig7.asmcap.array_rows = rows;
+  const Fig7Runner runner(fig7);
+
+  std::vector<std::size_t> thresholds;
+  for (std::size_t t = 1; t <= 12; ++t) thresholds.push_back(t);
+  const Fig7Series series = runner.run(dataset, thresholds, rng);
+
+  print_report(std::cout, "F1 sweep -- " + dataset.name, fig7_table(series));
+  print_report(std::cout, "Normalised (vs Kraken2-like)",
+               fig7_normalized_table(series));
+
+  std::printf("HDAC p at T=1: %.3f   TASR T_l: %zu (m=%zu)\n",
+              hdac_probability(fig7.asmcap.hdac, rates, 1),
+              tasr_lower_bound(fig7.asmcap.tasr, rates, 256),
+              static_cast<std::size_t>(256));
+  return 0;
+}

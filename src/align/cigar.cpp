@@ -1,0 +1,131 @@
+#include "align/cigar.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asmcap {
+
+char to_char(CigarOp op) {
+  switch (op) {
+    case CigarOp::Match: return '=';
+    case CigarOp::Mismatch: return 'X';
+    case CigarOp::Insertion: return 'I';
+    case CigarOp::Deletion: return 'D';
+  }
+  return '?';
+}
+
+std::string Alignment::to_string() const {
+  std::string text;
+  for (const CigarEntry& entry : cigar) {
+    text += std::to_string(entry.length);
+    text += to_char(entry.op);
+  }
+  return text;
+}
+
+std::size_t Alignment::read_length() const {
+  std::size_t total = 0;
+  for (const CigarEntry& entry : cigar)
+    if (entry.op != CigarOp::Deletion) total += entry.length;
+  return total;
+}
+
+std::size_t Alignment::reference_length() const {
+  std::size_t total = 0;
+  for (const CigarEntry& entry : cigar)
+    if (entry.op != CigarOp::Insertion) total += entry.length;
+  return total;
+}
+
+Alignment align_global(const Sequence& reference, const Sequence& read) {
+  const std::size_t n = reference.size();
+  const std::size_t m = read.size();
+  // Full DP matrix for traceback.
+  std::vector<std::uint32_t> dp((n + 1) * (m + 1));
+  const auto at = [&](std::size_t i, std::size_t j) -> std::uint32_t& {
+    return dp[i * (m + 1) + j];
+  };
+  for (std::size_t j = 0; j <= m; ++j) at(0, j) = static_cast<std::uint32_t>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    at(i, 0) = static_cast<std::uint32_t>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::uint32_t substitution =
+          at(i - 1, j - 1) + (reference[i - 1] == read[j - 1] ? 0u : 1u);
+      at(i, j) =
+          std::min({at(i - 1, j) + 1, at(i, j - 1) + 1, substitution});
+    }
+  }
+
+  // Traceback, preferring diagonal moves (canonical alignments).
+  std::vector<CigarEntry> reversed;
+  const auto push = [&reversed](CigarOp op) {
+    if (!reversed.empty() && reversed.back().op == op)
+      ++reversed.back().length;
+    else
+      reversed.push_back({op, 1});
+  };
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0) {
+      const bool same = reference[i - 1] == read[j - 1];
+      if (at(i, j) == at(i - 1, j - 1) + (same ? 0u : 1u)) {
+        push(same ? CigarOp::Match : CigarOp::Mismatch);
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (i > 0 && at(i, j) == at(i - 1, j) + 1) {
+      push(CigarOp::Deletion);  // reference base absent from the read
+      --i;
+      continue;
+    }
+    push(CigarOp::Insertion);  // read base absent from the reference
+    --j;
+  }
+
+  Alignment alignment;
+  alignment.edit_distance = at(n, m);
+  alignment.cigar.assign(reversed.rbegin(), reversed.rend());
+  return alignment;
+}
+
+bool cigar_consistent(const Alignment& alignment, const Sequence& reference,
+                      const Sequence& read) {
+  if (alignment.read_length() != read.size()) return false;
+  if (alignment.reference_length() != reference.size()) return false;
+  std::size_t i = 0;  // reference cursor
+  std::size_t j = 0;  // read cursor
+  std::size_t edits = 0;
+  for (const CigarEntry& entry : alignment.cigar) {
+    for (std::uint32_t k = 0; k < entry.length; ++k) {
+      switch (entry.op) {
+        case CigarOp::Match:
+          if (reference[i] != read[j]) return false;
+          ++i;
+          ++j;
+          break;
+        case CigarOp::Mismatch:
+          if (reference[i] == read[j]) return false;
+          ++i;
+          ++j;
+          ++edits;
+          break;
+        case CigarOp::Deletion:
+          ++i;
+          ++edits;
+          break;
+        case CigarOp::Insertion:
+          ++j;
+          ++edits;
+          break;
+      }
+    }
+  }
+  return edits == alignment.edit_distance && i == reference.size() &&
+         j == read.size();
+}
+
+}  // namespace asmcap

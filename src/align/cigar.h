@@ -1,0 +1,51 @@
+#pragma once
+// Alignment traceback and CIGAR strings. The accelerator only answers
+// "within threshold?" — downstream genomics tooling wants the actual
+// alignment of the accepted (read, segment) pairs, which the host CPU
+// recovers with one traceback per reported match.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+/// CIGAR operation kinds (SAM conventions; '=' and 'X' distinguished).
+enum class CigarOp : std::uint8_t { Match, Mismatch, Insertion, Deletion };
+
+char to_char(CigarOp op);
+
+struct CigarEntry {
+  CigarOp op;
+  std::uint32_t length;
+  bool operator==(const CigarEntry&) const = default;
+};
+
+/// A full global alignment between a read and a reference segment.
+struct Alignment {
+  std::vector<CigarEntry> cigar;
+  std::size_t edit_distance = 0;  ///< mismatches + insertions + deletions
+
+  /// Compact SAM-style rendering, e.g. "12=1X3=2D8=".
+  std::string to_string() const;
+
+  /// Number of read bases consumed (must equal the read length).
+  std::size_t read_length() const;
+  /// Number of reference bases consumed.
+  std::size_t reference_length() const;
+};
+
+/// Global alignment with traceback (O(n*m) time and memory). `reference`
+/// rows, `read` columns; insertions are read bases absent from the
+/// reference.
+Alignment align_global(const Sequence& reference, const Sequence& read);
+
+/// Applies a CIGAR to a reference segment and reproduces the read
+/// (requires the read's inserted bases, supplied via `read`); used to
+/// verify round-trip consistency in tests.
+bool cigar_consistent(const Alignment& alignment, const Sequence& reference,
+                      const Sequence& read);
+
+}  // namespace asmcap

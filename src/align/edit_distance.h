@@ -1,0 +1,50 @@
+#pragma once
+// Exact (Levenshtein) edit distance. The full O(n*m) dynamic program is the
+// reference implementation (and the CM-CPU baseline kernel); the banded
+// variant with a distance cap is what the evaluation uses for ground truth,
+// and the Ukkonen-style early exit makes threshold queries cheap.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+/// Full comparison-matrix edit distance (two-row rolling DP).
+std::size_t edit_distance(const Sequence& a, const Sequence& b);
+
+/// Result of a capped computation: `distance` is exact when
+/// `within_band` is true; otherwise the true distance exceeds `cap` and
+/// `distance` == cap + 1.
+struct CappedDistance {
+  std::size_t distance = 0;
+  bool within_band = false;
+};
+
+/// Banded edit distance with band half-width `cap` (Ukkonen). Exact for all
+/// distances <= cap; reports cap+1 otherwise. Cost O((cap+1) * n).
+CappedDistance banded_edit_distance(const Sequence& a, const Sequence& b,
+                                    std::size_t cap);
+
+/// Convenience threshold query: true iff edit_distance(a, b) <= threshold.
+bool edit_distance_within(const Sequence& a, const Sequence& b,
+                          std::size_t threshold);
+
+/// The full comparison matrix (n+1 x m+1), exposed for tests, the ReSMA
+/// anti-diagonal model, and the traceback in the alignment example.
+/// Row-major: cell(i, j) = matrix[i * (b.size() + 1) + j].
+std::vector<std::uint32_t> comparison_matrix(const Sequence& a,
+                                             const Sequence& b);
+
+/// Operation counts of the comparison-matrix computation, used by the
+/// performance models (cells == (n+1)*(m+1) updates).
+struct CmCost {
+  std::size_t cells = 0;
+  std::size_t anti_diagonals = 0;  ///< n + m + 1 (ReSMA's parallel step count).
+};
+
+CmCost comparison_matrix_cost(std::size_t n, std::size_t m);
+
+}  // namespace asmcap

@@ -1,0 +1,36 @@
+#include "align/hamming.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+std::size_t hamming_distance(const Sequence& a, const Sequence& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("hamming_distance: length mismatch");
+  std::size_t distance = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    distance += a[i] != b[i] ? 1u : 0u;
+  return distance;
+}
+
+BitVec hamming_mismatch_mask(const Sequence& a, const Sequence& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("hamming_mismatch_mask: length mismatch");
+  BitVec mask(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) mask.set(i);
+  return mask;
+}
+
+bool hamming_within(const Sequence& a, const Sequence& b,
+                    std::size_t threshold) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("hamming_within: length mismatch");
+  std::size_t distance = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i] && ++distance > threshold) return false;
+  }
+  return true;
+}
+
+}  // namespace asmcap

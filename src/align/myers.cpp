@@ -1,0 +1,103 @@
+#include "align/myers.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace asmcap {
+
+MyersPattern::MyersPattern(const Sequence& pattern)
+    : m_(pattern.size()), blocks_((pattern.size() + 63) / 64) {
+  if (m_ == 0) throw std::invalid_argument("MyersPattern: empty pattern");
+  for (auto& masks : peq_) masks.assign(blocks_, 0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    peq_[code_of(pattern[i])][i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+}
+
+template <bool kSemiGlobal>
+std::size_t MyersPattern::run(const Sequence& text, std::size_t cap,
+                              std::size_t* best_end) const {
+  // Hyyrö's block-based Myers. VP/VN per block; horizontal deltas carried
+  // between blocks via {-1, 0, +1}. The score is tracked at the last row of
+  // the last block. For global distance the horizontal delta entering the
+  // top block is +1 per column (boundary D[0][j] = j); for semi-global it
+  // is 0 (free text prefix).
+  std::vector<std::uint64_t> vp(blocks_, ~std::uint64_t{0});
+  std::vector<std::uint64_t> vn(blocks_, 0);
+  const std::size_t last = blocks_ - 1;
+  const std::uint64_t last_bit = std::uint64_t{1} << ((m_ - 1) % 64);
+
+  std::size_t score = m_;
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  std::size_t best_pos = 0;
+  if (kSemiGlobal) {
+    best = m_;  // matching the empty text substring costs m.
+    best_pos = 0;
+  }
+
+  for (std::size_t j = 0; j < text.size(); ++j) {
+    const std::uint8_t c = code_of(text[j]);
+    int hin = kSemiGlobal ? 0 : +1;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      std::uint64_t eq = peq_[c][b];
+      const std::uint64_t pv = vp[b];
+      const std::uint64_t mv = vn[b];
+      if (hin < 0) eq |= 1;
+      const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+      std::uint64_t ph = mv | ~(xh | pv);
+      std::uint64_t mh = pv & xh;
+
+      int hout = 0;
+      const std::uint64_t msb = b == last ? last_bit : (std::uint64_t{1} << 63);
+      if (ph & msb) hout = +1;
+      else if (mh & msb) hout = -1;
+
+      ph <<= 1;
+      mh <<= 1;
+      if (hin > 0) ph |= 1;
+      if (hin < 0) mh |= 1;
+
+      const std::uint64_t xv = eq | mv;
+      vp[b] = mh | ~(xv | ph);
+      vn[b] = ph & xv;
+      hin = hout;
+    }
+    score = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(score) + hin);
+    if (kSemiGlobal) {
+      if (score < best) {
+        best = score;
+        best_pos = j + 1;
+      }
+    } else if (cap != std::numeric_limits<std::size_t>::max()) {
+      // Optional monotone pruning could go here; the plain loop is already
+      // fast enough for 256-base rows, so we keep it branch-light.
+    }
+  }
+
+  if (kSemiGlobal) {
+    if (best_end != nullptr) *best_end = best_pos;
+    return best;
+  }
+  return score;
+}
+
+std::size_t MyersPattern::distance(const Sequence& text) const {
+  return run<false>(text, std::numeric_limits<std::size_t>::max(), nullptr);
+}
+
+bool MyersPattern::within(const Sequence& text, std::size_t threshold) const {
+  return distance(text) <= threshold;
+}
+
+std::size_t MyersPattern::best_semiglobal(const Sequence& text,
+                                          std::size_t* best_end) const {
+  return run<true>(text, std::numeric_limits<std::size_t>::max(), best_end);
+}
+
+std::size_t myers_edit_distance(const Sequence& a, const Sequence& b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  return MyersPattern(a).distance(b);
+}
+
+}  // namespace asmcap

@@ -1,0 +1,56 @@
+#include "align/semiglobal.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "align/myers.h"
+
+namespace asmcap {
+
+SemiGlobalHit semiglobal_align_window(const Sequence& read,
+                                      const Sequence& reference,
+                                      std::size_t window_begin,
+                                      std::size_t window_end) {
+  if (read.empty()) throw std::invalid_argument("semiglobal_align: empty read");
+  if (window_end > reference.size() || window_begin > window_end)
+    throw std::out_of_range("semiglobal_align_window: bad window");
+
+  const Sequence window =
+      reference.subseq(window_begin, window_end - window_begin);
+
+  // Forward pass with the bit-parallel kernel to find the best end.
+  const MyersPattern pattern(read);
+  std::size_t best_end_local = 0;
+  const std::size_t best = pattern.best_semiglobal(window, &best_end_local);
+
+  // Backward pass: align the reversed read against the reversed prefix
+  // ending at best_end to find where the window begins. The best start is
+  // the end position of the reverse alignment mirrored back.
+  SemiGlobalHit hit;
+  hit.distance = best;
+  hit.end = window_begin + best_end_local;
+
+  if (best_end_local == 0) {
+    hit.begin = hit.end;
+    return hit;
+  }
+  Sequence rev_read;
+  rev_read.reserve(read.size());
+  for (std::size_t i = read.size(); i-- > 0;) rev_read.push_back(read[i]);
+  Sequence rev_prefix;
+  rev_prefix.reserve(best_end_local);
+  for (std::size_t i = best_end_local; i-- > 0;)
+    rev_prefix.push_back(window[i]);
+  const MyersPattern rev_pattern(rev_read);
+  std::size_t rev_end = 0;
+  rev_pattern.best_semiglobal(rev_prefix, &rev_end);
+  hit.begin = hit.end - rev_end;
+  return hit;
+}
+
+SemiGlobalHit semiglobal_align(const Sequence& read, const Sequence& reference) {
+  return semiglobal_align_window(read, reference, 0, reference.size());
+}
+
+}  // namespace asmcap

@@ -1,0 +1,30 @@
+#pragma once
+// Semi-global alignment (read fully consumed, reference ends free): the
+// verification step of seed-and-extend mapping and the gold-standard
+// locator used by the examples.
+
+#include <cstddef>
+
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+struct SemiGlobalHit {
+  std::size_t distance = 0;   ///< Best edit distance of read vs any ref window.
+  std::size_t end = 0;        ///< Exclusive end position of the best window.
+  std::size_t begin = 0;      ///< Inclusive start position (via traceback).
+};
+
+/// Dynamic-programming semi-global alignment of `read` against `reference`.
+/// O(|read| * |reference|) time, O(|read|) memory for the distance, one
+/// extra backward pass to recover the window start.
+SemiGlobalHit semiglobal_align(const Sequence& read, const Sequence& reference);
+
+/// Distance-only variant restricted to reference window [window_begin,
+/// window_end); positions reported in global reference coordinates.
+SemiGlobalHit semiglobal_align_window(const Sequence& read,
+                                      const Sequence& reference,
+                                      std::size_t window_begin,
+                                      std::size_t window_end);
+
+}  // namespace asmcap

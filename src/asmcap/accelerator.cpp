@@ -1,0 +1,114 @@
+#include "asmcap/accelerator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cam/periphery.h"
+
+namespace asmcap {
+
+AsmcapAccelerator::AsmcapAccelerator(AsmcapConfig config)
+    : config_(config),
+      mapper_(config.array_count, config.array_rows),
+      controller_(config),
+      timing_(config.process),
+      rng_(config.seed) {
+  validate(config_.process);
+}
+
+void AsmcapAccelerator::load_reference(const std::vector<Sequence>& segments) {
+  if (segments_loaded_ != 0)
+    throw std::logic_error("AsmcapAccelerator: reference already loaded");
+  const auto locations = mapper_.map_segments(segments.size());
+  // Manufacture only the arrays the reference actually needs; capacitor
+  // mismatch is drawn from a deterministic silicon stream.
+  Rng manufacture = rng_.fork(0x51C0);
+  const std::size_t needed = mapper_.arrays_in_use();
+  units_.reserve(needed);
+  for (std::size_t a = 0; a < needed; ++a)
+    units_.emplace_back(config_.array_rows, config_.array_cols,
+                        config_.process.charge, config_.ideal_sensing,
+                        manufacture);
+  for (std::size_t i = 0; i < segments.size(); ++i)
+    units_[locations[i].array].write_row(locations[i].row, segments[i]);
+  segments_loaded_ = segments.size();
+
+  // One-time load cost: every row write burns decoder+WL+SRAM energy; the
+  // arrays write their rows in parallel, so the latency is set by the
+  // fullest array.
+  const WriteCostParams write_cost;
+  load_energy_ = static_cast<double>(segments.size()) *
+                 row_write_energy(config_.array_cols, write_cost);
+  const std::size_t rows_in_fullest =
+      std::min<std::size_t>(segments.size(), config_.array_rows);
+  load_latency_ =
+      static_cast<double>(rows_in_fullest) * write_cost.latency_per_row;
+}
+
+std::vector<bool> AsmcapAccelerator::pass(const Sequence& read, MatchMode mode,
+                                          std::size_t threshold) {
+  std::vector<bool> decisions(segments_loaded_, false);
+  for (std::size_t a = 0; a < units_.size(); ++a) {
+    const RawSearch raw = units_[a].search_raw(read, mode);
+    for (std::size_t r = 0; r < config_.array_rows; ++r) {
+      const auto segment = mapper_.segment_at(a, r);
+      if (!segment) continue;
+      decisions[*segment] =
+          units_[a].decide(raw.counts[r], raw.vml[r], threshold, rng_);
+    }
+  }
+  return decisions;
+}
+
+QueryResult AsmcapAccelerator::search(const Sequence& read,
+                                      std::size_t threshold,
+                                      StrategyMode mode) {
+  if (segments_loaded_ == 0)
+    throw std::logic_error("AsmcapAccelerator: no reference loaded");
+  if (read.size() != config_.array_cols)
+    throw std::invalid_argument("AsmcapAccelerator: read width mismatch");
+
+  const double energy_before = [&] {
+    double total = 0.0;
+    for (const auto& unit : units_) total += unit.consumed_energy();
+    return total;
+  }();
+
+  QueryResult result;
+  result.plan = controller_.plan(threshold, rates_, mode);
+
+  // ED* pass(es): the original read, plus the rotation schedule when TASR
+  // triggered (Algorithm 2's OR-accumulation).
+  std::vector<bool> ed_star = pass(read, MatchMode::EdStar, threshold);
+  if (result.plan.tasr_triggered) {
+    for (const Sequence& rotated : controller_.tasr().schedule(read)) {
+      if (rotated == read) continue;  // original already searched
+      const std::vector<bool> extra =
+          pass(rotated, MatchMode::EdStar, threshold);
+      for (std::size_t g = 0; g < ed_star.size(); ++g)
+        ed_star[g] = ed_star[g] || extra[g];
+    }
+  }
+
+  // HDAC pass: HD search and probabilistic selection (Algorithm 1).
+  if (result.plan.hd_search) {
+    const std::vector<bool> hd = pass(read, MatchMode::Hamming, threshold);
+    for (std::size_t g = 0; g < ed_star.size(); ++g)
+      ed_star[g] = controller_.hdac().combine(hd[g], ed_star[g],
+                                              result.plan.hdac_p, rng_);
+  }
+
+  result.decisions = std::move(ed_star);
+  for (std::size_t g = 0; g < result.decisions.size(); ++g)
+    if (result.decisions[g]) result.matched_segments.push_back(g);
+
+  result.latency_seconds =
+      timing_.asmcap_query_latency(result.plan.total_searches());
+  double energy_after = 0.0;
+  for (const auto& unit : units_) energy_after += unit.consumed_energy();
+  result.energy_joules = energy_after - energy_before;
+  controller_.record(result.plan, result.latency_seconds, result.energy_joules);
+  return result;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,78 @@
+#pragma once
+// Top-level ASMCap accelerator (paper Fig. 4a): global buffer + controller
+// + a bank of ASMCap arrays. Reference segments are loaded once; reads are
+// then searched in parallel against every stored row with the configured
+// correction strategies.
+
+#include <cstddef>
+#include <vector>
+
+#include "asmcap/array_unit.h"
+#include "asmcap/config.h"
+#include "asmcap/controller.h"
+#include "asmcap/mapper.h"
+#include "circuit/timing.h"
+#include "genome/edits.h"
+#include "genome/sequence.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+/// Result of one read query.
+struct QueryResult {
+  /// Global ids of the segments whose rows reported 'match'.
+  std::vector<std::size_t> matched_segments;
+  /// Per-segment decision bitmap over all loaded segments.
+  std::vector<bool> decisions;
+  QueryPlan plan;
+  double latency_seconds = 0.0;
+  double energy_joules = 0.0;
+};
+
+class AsmcapAccelerator {
+ public:
+  explicit AsmcapAccelerator(AsmcapConfig config);
+
+  /// Loads reference segments (each must match the array width). May be
+  /// called once; capacity is array_count x array_rows segments.
+  void load_reference(const std::vector<Sequence>& segments);
+
+  /// Sets the workload error profile used by the offline pre-processing of
+  /// HDAC's p and TASR's T_l. Defaults to Condition A rates.
+  void set_error_profile(const ErrorRates& rates) { rates_ = rates; }
+  const ErrorRates& error_profile() const { return rates_; }
+
+  /// Searches one read against every loaded segment.
+  QueryResult search(const Sequence& read, std::size_t threshold,
+                     StrategyMode mode);
+
+  std::size_t loaded_segments() const { return segments_loaded_; }
+  std::size_t arrays_in_use() const { return mapper_.arrays_in_use(); }
+  /// One-time cost of loading the reference (decoder + WL + SRAM writes;
+  /// rows of different arrays are written in parallel).
+  double load_energy_joules() const { return load_energy_; }
+  double load_latency_seconds() const { return load_latency_; }
+  const AsmcapConfig& config() const { return config_; }
+  const Controller& controller() const { return controller_; }
+  Controller& controller() { return controller_; }
+  const TimingModel& timing() const { return timing_; }
+
+ private:
+  /// Runs one ED*/HD pass over all in-use arrays; returns per-global-segment
+  /// match decisions at the threshold.
+  std::vector<bool> pass(const Sequence& read, MatchMode mode,
+                         std::size_t threshold);
+
+  AsmcapConfig config_;
+  ErrorRates rates_ = ErrorRates::condition_a();
+  ReferenceMapper mapper_;
+  Controller controller_;
+  TimingModel timing_;
+  std::vector<AsmcapArrayUnit> units_;  ///< Only arrays_in_use() are active.
+  std::size_t segments_loaded_ = 0;
+  double load_energy_ = 0.0;
+  double load_latency_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace asmcap

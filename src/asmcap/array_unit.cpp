@@ -1,0 +1,61 @@
+#include "asmcap/array_unit.h"
+
+namespace asmcap {
+
+AsmcapArrayUnit::AsmcapArrayUnit(std::size_t rows, std::size_t cols,
+                                 const ChargeDomainParams& params,
+                                 bool ideal_sensing, Rng& manufacture_rng)
+    : array_(rows, cols),
+      readout_(rows, cols, params, manufacture_rng),
+      sl_driver_(cols),
+      shift_registers_(cols),
+      ideal_sensing_(ideal_sensing) {}
+
+void AsmcapArrayUnit::write_row(std::size_t row, const Sequence& segment) {
+  array_.write_row(row, segment);
+}
+
+RawSearch AsmcapArrayUnit::search_raw(const Sequence& read, MatchMode mode) {
+  sl_driver_.drive(read);
+  RawSearch raw;
+  raw.counts.reserve(rows());
+  raw.vml.reserve(rows());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const BitVec mask = array_.row_mismatch_mask(r, read, mode);
+    const std::size_t count = mask.popcount();
+    raw.counts.push_back(count);
+    raw.vml.push_back(readout_.settle_row(r, mask));
+    // Matchline energy per row (paper Eq. 1 with M = 1).
+    matchline_energy_ += readout_.matchline(r).search_energy(count);
+  }
+  return raw;
+}
+
+bool AsmcapArrayUnit::decide(std::size_t count, double vml,
+                             std::size_t threshold, Rng& search_rng) const {
+  if (ideal_sensing_) return ChargeArrayReadout::ideal_decision(count, threshold);
+  return readout_.decide(vml, threshold, search_rng);
+}
+
+std::vector<bool> AsmcapArrayUnit::search(const Sequence& read, MatchMode mode,
+                                          std::size_t threshold,
+                                          Rng& search_rng) {
+  const RawSearch raw = search_raw(read, mode);
+  std::vector<bool> matches(rows());
+  for (std::size_t r = 0; r < rows(); ++r)
+    matches[r] = decide(raw.counts[r], raw.vml[r], threshold, search_rng);
+  return matches;
+}
+
+double AsmcapArrayUnit::consumed_energy() const {
+  return matchline_energy_ + readout_.consumed_energy() +
+         sl_driver_.consumed_energy();
+}
+
+void AsmcapArrayUnit::reset_energy() {
+  matchline_energy_ = 0.0;
+  readout_.reset_energy();
+  sl_driver_.reset_energy();
+}
+
+}  // namespace asmcap

@@ -1,0 +1,66 @@
+#pragma once
+// One ASMCap array unit (Fig. 4b): the functional CAM array, the
+// charge-domain readout, the searchline driver, and the shift registers.
+// This is the hardware granule the mapper fills and the controller drives.
+
+#include <cstddef>
+#include <vector>
+
+#include "cam/array.h"
+#include "cam/charge_readout.h"
+#include "cam/periphery.h"
+#include "cam/shift_register.h"
+#include "circuit/process.h"
+#include "genome/sequence.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+/// Raw (threshold-independent) result of one array search: per-row mismatch
+/// counts and settled matchline voltages. Cacheable by the caller.
+struct RawSearch {
+  std::vector<std::size_t> counts;
+  std::vector<double> vml;
+};
+
+class AsmcapArrayUnit {
+ public:
+  AsmcapArrayUnit(std::size_t rows, std::size_t cols,
+                  const ChargeDomainParams& params, bool ideal_sensing,
+                  Rng& manufacture_rng);
+
+  std::size_t rows() const { return array_.rows(); }
+  std::size_t cols() const { return array_.cols(); }
+  std::size_t valid_rows() const { return array_.valid_rows(); }
+
+  void write_row(std::size_t row, const Sequence& segment);
+  const CamArray& array() const { return array_; }
+
+  /// One search operation: drives the read, evaluates every row in the
+  /// given mode, and returns counts + settled voltages (systematic analog
+  /// state, before SA noise). Charges SL-driver and matchline energy.
+  RawSearch search_raw(const Sequence& read, MatchMode mode);
+
+  /// SA decision for one row's settled voltage (per-search noise applied
+  /// unless the unit runs in ideal-sensing mode, where count <= T decides).
+  bool decide(std::size_t count, double vml, std::size_t threshold,
+              Rng& search_rng) const;
+
+  /// Full search: per-row match decisions at a threshold.
+  std::vector<bool> search(const Sequence& read, MatchMode mode,
+                           std::size_t threshold, Rng& search_rng);
+
+  ShiftRegisterFile& shift_registers() { return shift_registers_; }
+  double consumed_energy() const;
+  void reset_energy();
+
+ private:
+  CamArray array_;
+  ChargeArrayReadout readout_;
+  SearchlineDriver sl_driver_;
+  ShiftRegisterFile shift_registers_;
+  bool ideal_sensing_;
+  double matchline_energy_ = 0.0;
+};
+
+}  // namespace asmcap

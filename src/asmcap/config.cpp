@@ -1,0 +1,46 @@
+#include "asmcap/config.h"
+
+#include <cmath>
+#include <limits>
+
+namespace asmcap {
+
+bool hdac_active(StrategyMode mode) {
+  return mode == StrategyMode::HdacOnly || mode == StrategyMode::Full;
+}
+
+bool tasr_active(StrategyMode mode) {
+  return mode == StrategyMode::TasrOnly || mode == StrategyMode::Full;
+}
+
+const char* to_string(StrategyMode mode) {
+  switch (mode) {
+    case StrategyMode::Baseline: return "ASMCap w/o H./T.";
+    case StrategyMode::HdacOnly: return "ASMCap w/ HDAC";
+    case StrategyMode::TasrOnly: return "ASMCap w/ TASR";
+    case StrategyMode::Full: return "ASMCap w/ H./T.";
+  }
+  return "?";
+}
+
+double hdac_probability(const HdacParams& params, const ErrorRates& rates,
+                        std::size_t threshold) {
+  const double es = rates.substitution;
+  const double eid = rates.indel();
+  if (es + eid <= 0.0) return 0.0;
+  const double mix = es / (es + eid);
+  const double damping = std::exp(
+      -(params.alpha * eid + params.beta * static_cast<double>(threshold)));
+  return mix * damping;
+}
+
+std::size_t tasr_lower_bound(const TasrParams& params, const ErrorRates& rates,
+                             std::size_t read_length) {
+  const double eid = rates.indel();
+  if (eid <= 0.0) return std::numeric_limits<std::size_t>::max();
+  const double bound =
+      params.gamma / eid * static_cast<double>(read_length);
+  return static_cast<std::size_t>(std::ceil(bound));
+}
+
+}  // namespace asmcap

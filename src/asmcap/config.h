@@ -1,0 +1,70 @@
+#pragma once
+// Configuration of the ASMCap accelerator (paper §V-A): 512 arrays of
+// 256x256 cells at 1.2 V, HDAC with alpha=200 / beta=0.5, TASR with N_R=2 /
+// gamma=2e-4.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "align/edstar.h"
+#include "circuit/process.h"
+#include "genome/edits.h"
+
+namespace asmcap {
+
+/// Which of the two correction strategies are active.
+enum class StrategyMode : std::uint8_t {
+  Baseline,  ///< pure ED* (ASMCap w/o H. and T.)
+  HdacOnly,
+  TasrOnly,
+  Full,  ///< ASMCap w/ H. and T.
+};
+
+bool hdac_active(StrategyMode mode);
+bool tasr_active(StrategyMode mode);
+const char* to_string(StrategyMode mode);
+
+struct HdacParams {
+  double alpha = 200.0;
+  double beta = 0.5;
+  /// HDAC is disabled (saving its extra cycle) when p falls below this
+  /// (paper §IV-A suggests 1 %).
+  double min_probability = 0.01;
+};
+
+struct TasrParams {
+  std::size_t rotations = 2;  ///< N_R
+  double gamma = 2e-4;
+  RotateDir direction = RotateDir::Both;
+};
+
+struct AsmcapConfig {
+  std::size_t array_rows = 256;
+  std::size_t array_cols = 256;  ///< == read length m
+  std::size_t array_count = 512;
+  ProcessParams process;
+  HdacParams hdac;
+  TasrParams tasr;
+  /// Bypass analog noise entirely (functional-simulation mode).
+  bool ideal_sensing = false;
+  std::uint64_t seed = 0xA5A5'5A5A'C0FF'EE00ULL;
+
+  std::size_t capacity_segments() const { return array_rows * array_count; }
+  /// Memory capacity in bits (2 bits per base): 512 x 256 x 256 x 2 = 64 Mb.
+  std::size_t capacity_bits() const {
+    return array_rows * array_cols * array_count * 2;
+  }
+};
+
+/// HDAC selection probability (paper §IV-A):
+///   p = e_s / (e_s + e_id) * exp(-(alpha * e_id + beta * T)).
+/// Zero when there are no edits at all.
+double hdac_probability(const HdacParams& params, const ErrorRates& rates,
+                        std::size_t threshold);
+
+/// TASR trigger lower bound (paper §IV-B): T_l = ceil(gamma / e_id * m).
+/// Effectively infinite when e_id == 0 (rotation can never help).
+std::size_t tasr_lower_bound(const TasrParams& params, const ErrorRates& rates,
+                             std::size_t read_length);
+
+}  // namespace asmcap

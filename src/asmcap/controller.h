@@ -1,0 +1,68 @@
+#pragma once
+// Controller (paper Fig. 4a): receives host instructions, plans the search
+// operations each read query needs (ED* pass, optional HDAC Hamming pass,
+// optional TASR rotation passes), and keeps the latency/energy/operation
+// ledger the performance evaluation reads.
+
+#include <cstddef>
+#include <limits>
+
+#include "asmcap/config.h"
+#include "asmcap/hdac.h"
+#include "asmcap/tasr.h"
+#include "genome/edits.h"
+
+namespace asmcap {
+
+/// The operation schedule of one read query.
+struct QueryPlan {
+  std::size_t ed_star_searches = 1;  ///< 1 + rotations when TASR triggers.
+  bool hd_search = false;            ///< HDAC's extra Hamming pass.
+  double hdac_p = 0.0;               ///< Selection probability (0 if off).
+  std::size_t tasr_tl =
+      std::numeric_limits<std::size_t>::max();  ///< Rotation trigger bound.
+  bool tasr_triggered = false;
+
+  std::size_t total_searches() const {
+    return ed_star_searches + (hd_search ? 1u : 0u);
+  }
+};
+
+/// Cumulative execution statistics.
+struct ExecutionTotals {
+  std::size_t queries = 0;
+  std::size_t searches = 0;
+  std::size_t hd_searches = 0;
+  std::size_t rotation_searches = 0;
+  double latency_seconds = 0.0;
+  double energy_joules = 0.0;
+};
+
+class Controller {
+ public:
+  Controller(const AsmcapConfig& config)
+      : config_(config), hdac_(config.hdac), tasr_(config.tasr) {}
+
+  /// Plans one query given the workload error profile (pre-processed
+  /// offline, as the paper prescribes for both p and T_l).
+  QueryPlan plan(std::size_t threshold, const ErrorRates& rates,
+                 StrategyMode mode) const;
+
+  /// Records a completed query in the ledger.
+  void record(const QueryPlan& plan, double latency_seconds,
+              double energy_joules);
+
+  const ExecutionTotals& totals() const { return totals_; }
+  void reset_totals() { totals_ = {}; }
+
+  const Hdac& hdac() const { return hdac_; }
+  const Tasr& tasr() const { return tasr_; }
+
+ private:
+  AsmcapConfig config_;
+  Hdac hdac_;
+  Tasr tasr_;
+  ExecutionTotals totals_;
+};
+
+}  // namespace asmcap

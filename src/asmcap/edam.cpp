@@ -1,0 +1,93 @@
+#include "asmcap/edam.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+EdamAccelerator::EdamAccelerator(EdamConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.array_rows == 0 || config_.array_cols == 0 ||
+      config_.array_count == 0)
+    throw std::invalid_argument("EdamAccelerator: empty geometry");
+}
+
+void EdamAccelerator::load_reference(const std::vector<Sequence>& segments) {
+  if (segments_loaded_ != 0)
+    throw std::logic_error("EdamAccelerator: reference already loaded");
+  const std::size_t capacity = config_.array_rows * config_.array_count;
+  if (segments.size() > capacity)
+    throw std::length_error("EdamAccelerator: capacity exceeded");
+  arrays_in_use_ =
+      (segments.size() + config_.array_rows - 1) / config_.array_rows;
+  Rng manufacture = rng_.fork(0xEDA1);
+  arrays_.reserve(arrays_in_use_);
+  readouts_.reserve(arrays_in_use_);
+  for (std::size_t a = 0; a < arrays_in_use_; ++a) {
+    arrays_.emplace_back(config_.array_rows, config_.array_cols);
+    readouts_.emplace_back(config_.array_rows, config_.array_cols,
+                           config_.current, manufacture);
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i)
+    arrays_[i / config_.array_rows].write_row(i % config_.array_rows,
+                                              segments[i]);
+  segments_loaded_ = segments.size();
+}
+
+std::vector<bool> EdamAccelerator::pass(const Sequence& read,
+                                        std::size_t threshold) {
+  std::vector<bool> decisions(segments_loaded_, false);
+  for (std::size_t a = 0; a < arrays_in_use_; ++a) {
+    const auto masks = arrays_[a].search_masks(read, MatchMode::EdStar);
+    for (std::size_t r = 0; r < config_.array_rows; ++r) {
+      const std::size_t global = a * config_.array_rows + r;
+      if (global >= segments_loaded_) break;
+      if (config_.ideal_sensing) {
+        decisions[global] = masks[r].popcount() <= threshold;
+        // Still charge the energy the search would burn.
+        readouts_[a].sense_row(r, masks[r], threshold, rng_);
+      } else {
+        decisions[global] =
+            readouts_[a].sense_row(r, masks[r], threshold, rng_).match;
+      }
+    }
+  }
+  return decisions;
+}
+
+EdamQueryResult EdamAccelerator::search(const Sequence& read,
+                                        std::size_t threshold) {
+  if (segments_loaded_ == 0)
+    throw std::logic_error("EdamAccelerator: no reference loaded");
+  if (read.size() != config_.array_cols)
+    throw std::invalid_argument("EdamAccelerator: read width mismatch");
+
+  double energy_before = 0.0;
+  for (const auto& readout : readouts_)
+    energy_before += readout.consumed_energy();
+
+  EdamQueryResult result;
+  std::vector<bool> decisions = pass(read, threshold);
+  result.searches = 1;
+  if (config_.sr_enabled) {
+    // Unconditional SR: OR over all rotated searches, whatever T is. This
+    // is exactly what TASR's T_l guard improves upon.
+    for (const Sequence& rotated :
+         rotation_schedule(read, config_.sr_rotations, config_.sr_direction)) {
+      if (rotated == read) continue;
+      const std::vector<bool> extra = pass(rotated, threshold);
+      for (std::size_t g = 0; g < decisions.size(); ++g)
+        decisions[g] = decisions[g] || extra[g];
+      ++result.searches;
+    }
+  }
+  result.decisions = std::move(decisions);
+  result.latency_seconds =
+      static_cast<double>(result.searches) * config_.current.search_time();
+  double energy_after = 0.0;
+  for (const auto& readout : readouts_)
+    energy_after += readout.consumed_energy();
+  result.energy_joules = energy_after - energy_before;
+  return result;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,65 @@
+#pragma once
+// EDAM accelerator model (Hanhan et al., ISCA 2022) — the primary
+// comparator. Same ED* matching logic as ASMCap but with current-domain
+// matchline sensing (pre-charge, discharge, sample-and-hold), no Hamming
+// mode (no HDAC), and optionally the original unconditional Sequence
+// Rotation (SR) strategy.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "align/edstar.h"
+#include "cam/array.h"
+#include "cam/current_readout.h"
+#include "circuit/process.h"
+#include "circuit/timing.h"
+#include "genome/sequence.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+struct EdamConfig {
+  std::size_t array_rows = 256;
+  std::size_t array_cols = 256;
+  std::size_t array_count = 512;
+  CurrentDomainParams current;
+  /// EDAM's SR: rotate unconditionally NR times (no threshold awareness).
+  bool sr_enabled = false;
+  std::size_t sr_rotations = 2;
+  RotateDir sr_direction = RotateDir::Both;
+  bool ideal_sensing = false;
+  std::uint64_t seed = 0xEDA0'EDA0'EDA0'EDA0ULL;
+};
+
+struct EdamQueryResult {
+  std::vector<bool> decisions;  ///< Per loaded segment.
+  std::size_t searches = 1;
+  double latency_seconds = 0.0;
+  double energy_joules = 0.0;
+};
+
+class EdamAccelerator {
+ public:
+  explicit EdamAccelerator(EdamConfig config);
+
+  void load_reference(const std::vector<Sequence>& segments);
+
+  EdamQueryResult search(const Sequence& read, std::size_t threshold);
+
+  std::size_t loaded_segments() const { return segments_loaded_; }
+  const EdamConfig& config() const { return config_; }
+  double search_time() const { return config_.current.search_time(); }
+
+ private:
+  std::vector<bool> pass(const Sequence& read, std::size_t threshold);
+
+  EdamConfig config_;
+  std::vector<CamArray> arrays_;
+  std::vector<CurrentArrayReadout> readouts_;
+  std::size_t segments_loaded_ = 0;
+  std::size_t arrays_in_use_ = 0;
+  Rng rng_;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,11 @@
+#include "asmcap/hdac.h"
+
+namespace asmcap {
+
+bool Hdac::combine(bool hd_match, bool ed_star_match, double p,
+                   Rng& rng) const {
+  if (hd_match == ed_star_match) return ed_star_match;
+  return rng.uniform() < p ? hd_match : ed_star_match;
+}
+
+}  // namespace asmcap

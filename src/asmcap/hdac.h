@@ -1,0 +1,43 @@
+#pragma once
+// Hamming-Distance Aid Correction (paper §IV-A, Algorithm 1).
+//
+// When substitutions dominate, ED* hides many of them (the +/-1 window can
+// match a substituted base against an untouched neighbour), producing false
+// positives at thresholds below the true ED. HDAC runs a second search in
+// Hamming mode (MUX select S = 0) and, where the two results disagree,
+// adopts the HD result with probability p = f(e_s, e_id, T). p is computed
+// offline from the workload's error profile.
+
+#include "asmcap/config.h"
+#include "genome/edits.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+class Hdac {
+ public:
+  explicit Hdac(HdacParams params) : params_(params) {}
+
+  /// Pre-processed selection probability for a workload / threshold.
+  double probability(const ErrorRates& rates, std::size_t threshold) const {
+    return hdac_probability(params_, rates, threshold);
+  }
+
+  /// True when the p for this workload justifies the extra HD search cycle
+  /// (p >= min_probability).
+  bool enabled(const ErrorRates& rates, std::size_t threshold) const {
+    return probability(rates, threshold) >= params_.min_probability;
+  }
+
+  /// Algorithm 1: combine the two matching results for one row.
+  /// When they agree the answer is unambiguous; when they disagree the HD
+  /// result is selected with probability p.
+  bool combine(bool hd_match, bool ed_star_match, double p, Rng& rng) const;
+
+  const HdacParams& params() const { return params_; }
+
+ private:
+  HdacParams params_;
+};
+
+}  // namespace asmcap

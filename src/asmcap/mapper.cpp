@@ -1,0 +1,41 @@
+#include "asmcap/mapper.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+ReferenceMapper::ReferenceMapper(std::size_t array_count,
+                                 std::size_t array_rows)
+    : array_count_(array_count), array_rows_(array_rows) {
+  if (array_count == 0 || array_rows == 0)
+    throw std::invalid_argument("ReferenceMapper: empty geometry");
+}
+
+std::vector<SegmentLocation> ReferenceMapper::map_segments(
+    std::size_t segment_count) {
+  if (mapped_ + segment_count > capacity())
+    throw std::length_error("ReferenceMapper: capacity exceeded");
+  std::vector<SegmentLocation> locations;
+  locations.reserve(segment_count);
+  for (std::size_t i = 0; i < segment_count; ++i) {
+    const std::size_t global = mapped_ + i;
+    locations.push_back({global / array_rows_, global % array_rows_});
+  }
+  mapped_ += segment_count;
+  return locations;
+}
+
+std::optional<std::size_t> ReferenceMapper::segment_at(std::size_t array,
+                                                       std::size_t row) const {
+  if (array >= array_count_ || row >= array_rows_)
+    throw std::out_of_range("ReferenceMapper::segment_at");
+  const std::size_t global = array * array_rows_ + row;
+  if (global >= mapped_) return std::nullopt;
+  return global;
+}
+
+std::size_t ReferenceMapper::arrays_in_use() const {
+  return (mapped_ + array_rows_ - 1) / array_rows_;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,44 @@
+#pragma once
+// Reference mapper: distributes reference segments across the ASMCap
+// arrays. Segments fill arrays row-by-row; the mapping is recorded so that
+// (array, row) match reports can be translated back to global segment ids
+// and reference positions.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+/// Where a segment landed.
+struct SegmentLocation {
+  std::size_t array = 0;
+  std::size_t row = 0;
+};
+
+class ReferenceMapper {
+ public:
+  ReferenceMapper(std::size_t array_count, std::size_t array_rows);
+
+  /// Assigns locations for `segment_count` segments in fill order.
+  /// Throws std::length_error if capacity is exceeded.
+  std::vector<SegmentLocation> map_segments(std::size_t segment_count);
+
+  /// Reverse lookup: global segment id of an (array, row), or nullopt if
+  /// that row holds nothing.
+  std::optional<std::size_t> segment_at(std::size_t array,
+                                        std::size_t row) const;
+
+  std::size_t mapped_segments() const { return mapped_; }
+  std::size_t capacity() const { return array_count_ * array_rows_; }
+  std::size_t arrays_in_use() const;
+
+ private:
+  std::size_t array_count_;
+  std::size_t array_rows_;
+  std::size_t mapped_ = 0;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,67 @@
+#include "asmcap/readmapper.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "align/edit_distance.h"
+
+namespace asmcap {
+
+ReadMapper::ReadMapper(AsmcapConfig config, std::vector<Sequence> segments,
+                       std::size_t stride)
+    : accelerator_(config), segments_(std::move(segments)), stride_(stride) {
+  if (segments_.empty()) throw std::invalid_argument("ReadMapper: no segments");
+  if (stride_ == 0) throw std::invalid_argument("ReadMapper: zero stride");
+  accelerator_.load_reference(segments_);
+}
+
+MappedRead ReadMapper::map(const Sequence& read, std::size_t threshold,
+                           StrategyMode mode) {
+  const QueryResult result = accelerator_.search(read, threshold, mode);
+
+  MappedRead out;
+  out.candidates = result.matched_segments.size();
+  out.accel_latency_seconds = result.latency_seconds;
+  out.accel_energy_joules = result.energy_joules;
+
+  // Host verification: exact banded ED on each reported row, keep the best.
+  // (The accelerator is a filter; false positives die here, and the exact
+  // distance of the winner is recovered.)
+  std::size_t best_segment = 0;
+  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+  for (const std::size_t segment : result.matched_segments) {
+    const CappedDistance capped =
+        banded_edit_distance(segments_[segment], read, threshold);
+    stats_.host_dp_cells += read.size() * (2 * threshold + 1);
+    if (capped.within_band && capped.distance < best_distance) {
+      best_distance = capped.distance;
+      best_segment = segment;
+    }
+  }
+  if (best_distance == std::numeric_limits<std::size_t>::max()) return out;
+
+  out.mapped = true;
+  out.segment = best_segment;
+  out.reference_pos = best_segment * stride_;
+  out.edit_distance = best_distance;
+  out.alignment = align_global(segments_[best_segment], read);
+  return out;
+}
+
+MappingStats ReadMapper::map_batch(const std::vector<Sequence>& reads,
+                                   std::size_t threshold, StrategyMode mode,
+                                   std::vector<MappedRead>* out) {
+  stats_ = MappingStats{};
+  for (const Sequence& read : reads) {
+    MappedRead mapped = map(read, threshold, mode);
+    ++stats_.reads;
+    stats_.mapped += mapped.mapped ? 1u : 0u;
+    stats_.total_candidates += mapped.candidates;
+    stats_.accel_latency_seconds += mapped.accel_latency_seconds;
+    stats_.accel_energy_joules += mapped.accel_energy_joules;
+    if (out != nullptr) out->push_back(std::move(mapped));
+  }
+  return stats_;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,80 @@
+#pragma once
+// End-to-end read mapper built on the accelerator: ASMCap answers the
+// massively parallel "which rows are within T edits?" question; the host
+// then verifies the handful of reported rows exactly and recovers the
+// alignment (CIGAR) of the best one. This is the deployment shape the
+// paper targets — the accelerator as a high-recall filter in front of a
+// conventional verification step.
+
+#include <cstddef>
+#include <vector>
+
+#include "align/cigar.h"
+#include "asmcap/accelerator.h"
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+struct MappedRead {
+  bool mapped = false;
+  std::size_t segment = 0;        ///< Best-scoring stored row.
+  std::size_t reference_pos = 0;  ///< segment * stride.
+  std::size_t edit_distance = 0;  ///< Exact ED to the best row.
+  Alignment alignment;            ///< Global alignment vs the best row.
+  std::size_t candidates = 0;     ///< Rows the accelerator reported.
+  double accel_latency_seconds = 0.0;
+  double accel_energy_joules = 0.0;
+};
+
+struct MappingStats {
+  std::size_t reads = 0;
+  std::size_t mapped = 0;
+  std::size_t total_candidates = 0;
+  double accel_latency_seconds = 0.0;
+  double accel_energy_joules = 0.0;
+  std::size_t host_dp_cells = 0;  ///< Verification work done on the host.
+
+  double mapping_rate() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(mapped) /
+                            static_cast<double>(reads);
+  }
+  double mean_candidates() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(total_candidates) /
+                            static_cast<double>(reads);
+  }
+};
+
+class ReadMapper {
+ public:
+  /// Stores `segments` (cut from the reference at `stride`) into a fresh
+  /// accelerator. The segments are kept host-side for verification.
+  ReadMapper(AsmcapConfig config, std::vector<Sequence> segments,
+             std::size_t stride);
+
+  /// Maps one read: accelerator filter at `threshold`, exact host
+  /// verification, traceback of the winner.
+  MappedRead map(const Sequence& read, std::size_t threshold,
+                 StrategyMode mode = StrategyMode::Full);
+
+  /// Maps a batch and aggregates statistics.
+  MappingStats map_batch(const std::vector<Sequence>& reads,
+                         std::size_t threshold,
+                         StrategyMode mode = StrategyMode::Full,
+                         std::vector<MappedRead>* out = nullptr);
+
+  void set_error_profile(const ErrorRates& rates) {
+    accelerator_.set_error_profile(rates);
+  }
+  const AsmcapAccelerator& accelerator() const { return accelerator_; }
+  std::size_t stride() const { return stride_; }
+
+ private:
+  AsmcapAccelerator accelerator_;
+  std::vector<Sequence> segments_;
+  std::size_t stride_;
+  MappingStats stats_;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,12 @@
+#include "asmcap/tasr.h"
+
+namespace asmcap {
+
+std::size_t Tasr::schedule_length() const {
+  const std::size_t per_direction = params_.rotations;
+  const std::size_t directions =
+      params_.direction == RotateDir::Both ? 2u : 1u;
+  return 1 + per_direction * directions;
+}
+
+}  // namespace asmcap

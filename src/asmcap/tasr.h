@@ -1,0 +1,51 @@
+#pragma once
+// Threshold-Aware Sequence Rotation (paper §IV-B, Algorithm 2).
+//
+// Consecutive indels shift the whole tail of the read, blowing ED* far
+// above the true ED (false negatives). Rotating the read base-by-base and
+// re-searching recovers those rows — but unconditional rotation (EDAM's SR)
+// introduces false positives at small thresholds, because some rotations
+// produce ED* below the true ED. TASR therefore triggers rotation only when
+// T >= T_l = ceil(gamma / e_id * m).
+
+#include <cstddef>
+#include <vector>
+
+#include "asmcap/config.h"
+#include "genome/edits.h"
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+class Tasr {
+ public:
+  explicit Tasr(TasrParams params) : params_(params) {}
+
+  /// The trigger lower bound T_l for a workload.
+  std::size_t lower_bound(const ErrorRates& rates,
+                          std::size_t read_length) const {
+    return tasr_lower_bound(params_, rates, read_length);
+  }
+
+  /// Algorithm 2 guard: rotations run only when T >= T_l.
+  bool should_rotate(std::size_t threshold, const ErrorRates& rates,
+                     std::size_t read_length) const {
+    return threshold >= lower_bound(rates, read_length);
+  }
+
+  /// The reads searched when rotation triggers: the original first, then
+  /// each rotation the shift registers generate (N_R per direction).
+  std::vector<Sequence> schedule(const Sequence& read) const {
+    return rotation_schedule(read, params_.rotations, params_.direction);
+  }
+
+  /// Number of search operations the schedule costs.
+  std::size_t schedule_length() const;
+
+  const TasrParams& params() const { return params_; }
+
+ private:
+  TasrParams params_;
+};
+
+}  // namespace asmcap

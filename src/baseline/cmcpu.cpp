@@ -1,0 +1,66 @@
+#include "baseline/cmcpu.h"
+
+#include "align/edit_distance.h"
+#include "align/myers.h"
+
+namespace asmcap {
+
+std::vector<bool> CmCpuBaseline::decide_rows(const Sequence& read,
+                                             const std::vector<Sequence>& rows,
+                                             std::size_t threshold) const {
+  std::vector<bool> decisions;
+  decisions.reserve(rows.size());
+  switch (config_.kernel) {
+    case CmKernel::FullDp:
+      for (const Sequence& row : rows)
+        decisions.push_back(edit_distance(row, read) <= threshold);
+      break;
+    case CmKernel::BandedDp:
+      for (const Sequence& row : rows)
+        decisions.push_back(
+            banded_edit_distance(row, read, threshold).within_band);
+      break;
+    case CmKernel::MyersBitParallel: {
+      const MyersPattern pattern(read);
+      for (const Sequence& row : rows)
+        decisions.push_back(pattern.within(row, threshold));
+      break;
+    }
+  }
+  return decisions;
+}
+
+double CmCpuBaseline::kernel_ops(std::size_t read_length, std::size_t rows,
+                                 std::size_t threshold) const {
+  const double m = static_cast<double>(read_length);
+  const double r = static_cast<double>(rows);
+  switch (config_.kernel) {
+    case CmKernel::FullDp:
+      return r * m * m;  // DP cells
+    case CmKernel::BandedDp:
+      return r * m * (2.0 * static_cast<double>(threshold) + 1.0);
+    case CmKernel::MyersBitParallel:
+      return r * m * ((m + 63.0) / 64.0);  // column word-ops
+  }
+  return 0.0;
+}
+
+double CmCpuBaseline::seconds_per_read(std::size_t read_length,
+                                       std::size_t rows,
+                                       std::size_t threshold) const {
+  const double ops =
+      kernel_ops(read_length, rows, threshold) * config_.candidate_fraction;
+  const double rate = config_.kernel == CmKernel::MyersBitParallel
+                          ? config_.word_ops_per_second
+                          : config_.cells_per_second;
+  return ops / (rate * static_cast<double>(config_.threads));
+}
+
+double CmCpuBaseline::joules_per_read(std::size_t read_length,
+                                      std::size_t rows,
+                                      std::size_t threshold) const {
+  return seconds_per_read(read_length, rows, threshold) *
+         config_.cpu_power_watts;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,57 @@
+#include "baseline/kraken_like.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+Kmer KrakenLikeClassifier::canon(Kmer kmer) const {
+  return config_.canonical ? canonical_kmer(kmer, config_.k) : kmer;
+}
+
+void KrakenLikeClassifier::index_rows(const std::vector<Sequence>& rows) {
+  index_ = KmerIndex(config_.k);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() < config_.k) continue;
+    // Index canonical k-mers tagged with the row id; each canonical k-mer
+    // is inserted as a length-k sequence (one index entry per position).
+    for (Kmer kmer : extract_kmers(rows[r], config_.k)) {
+      index_.add_sequence(unpack_kmer(canon(kmer), config_.k),
+                          static_cast<std::uint32_t>(r));
+    }
+  }
+  rows_ = rows.size();
+}
+
+std::vector<double> KrakenLikeClassifier::hit_fractions(
+    const Sequence& read) const {
+  std::vector<double> fractions(rows_, 0.0);
+  if (read.size() < config_.k || rows_ == 0) return fractions;
+  const auto kmers = extract_kmers(read, config_.k);
+  std::vector<std::size_t> hits(rows_, 0);
+  for (Kmer kmer : kmers) {
+    // A k-mer may occur in several rows; each occurrence row gets one hit
+    // (deduplicated per k-mer).
+    std::vector<bool> seen(rows_, false);
+    for (const KmerIndex::Hit& hit : index_.lookup(canon(kmer))) {
+      if (!seen[hit.sequence_id]) {
+        seen[hit.sequence_id] = true;
+        ++hits[hit.sequence_id];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r)
+    fractions[r] =
+        static_cast<double>(hits[r]) / static_cast<double>(kmers.size());
+  return fractions;
+}
+
+std::vector<bool> KrakenLikeClassifier::decide_rows(
+    const Sequence& read) const {
+  const auto fractions = hit_fractions(read);
+  std::vector<bool> decisions(fractions.size(), false);
+  for (std::size_t r = 0; r < fractions.size(); ++r)
+    decisions[r] = fractions[r] >= config_.confidence;
+  return decisions;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,52 @@
+#pragma once
+// Kraken2-like exact-matching classifier (Wood et al., Genome Biol. 2019),
+// the accuracy-normalisation baseline of the paper's Fig. 7: the normalised
+// F1 panels divide every accelerator's F1 by F1(Kraken2). Kraken2 assigns
+// reads by *exact* k-mer matches against the database, so it degrades
+// quickly once edits are injected — which is precisely the paper's point.
+
+#include <cstddef>
+#include <vector>
+
+#include "genome/kmer.h"
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+struct KrakenLikeConfig {
+  std::size_t k = 31;  ///< Kraken2's default minimizer/k-mer length scale.
+  /// Fraction of the read's k-mers that must hit a row for a match call
+  /// (Kraken2's confidence-score analogue). Exact matching needs a healthy
+  /// share of intact k-mers, which injected edits destroy quickly — the
+  /// degradation the paper's normalised panels quantify.
+  double confidence = 0.30;
+  /// Use canonical k-mers (strand-insensitive), as Kraken2 does.
+  bool canonical = true;
+};
+
+class KrakenLikeClassifier {
+ public:
+  explicit KrakenLikeClassifier(KrakenLikeConfig config = {})
+      : config_(config) {}
+
+  void index_rows(const std::vector<Sequence>& rows);
+
+  /// Per-row decisions: the fraction of the read's k-mers found in row r
+  /// reaches the confidence threshold.
+  std::vector<bool> decide_rows(const Sequence& read) const;
+
+  /// Per-row hit fractions (diagnostics / threshold studies).
+  std::vector<double> hit_fractions(const Sequence& read) const;
+
+  const KrakenLikeConfig& config() const { return config_; }
+  std::size_t indexed_rows() const { return rows_; }
+
+ private:
+  Kmer canon(Kmer kmer) const;
+
+  KrakenLikeConfig config_;
+  KmerIndex index_{22};
+  std::size_t rows_ = 0;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,68 @@
+#include "baseline/resma.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "align/edit_distance.h"
+#include "genome/kmer.h"
+
+namespace asmcap {
+
+bool ResmaBaseline::passes_filter(const Sequence& read,
+                                  const Sequence& row) const {
+  if (read.size() < config_.filter_k || row.size() < config_.filter_k)
+    return true;  // degenerate: filter cannot operate, pass everything
+  std::unordered_set<Kmer> read_kmers;
+  for (Kmer kmer : extract_kmers(read, config_.filter_k))
+    read_kmers.insert(kmer);
+  std::size_t shared = 0;
+  for (Kmer kmer : extract_kmers(row, config_.filter_k)) {
+    if (read_kmers.count(kmer) != 0 && ++shared >= config_.filter_min_kmers)
+      return true;
+  }
+  return false;
+}
+
+std::vector<bool> ResmaBaseline::decide_rows(const Sequence& read,
+                                             const std::vector<Sequence>& rows,
+                                             std::size_t threshold,
+                                             std::size_t* filtered_out) const {
+  std::vector<bool> decisions(rows.size(), false);
+  std::size_t pruned = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (!passes_filter(read, rows[r])) {
+      ++pruned;
+      continue;
+    }
+    decisions[r] = banded_edit_distance(rows[r], read, threshold).within_band;
+  }
+  if (filtered_out != nullptr) *filtered_out = pruned;
+  return decisions;
+}
+
+std::size_t ResmaBaseline::count_candidates(
+    const Sequence& read, const std::vector<Sequence>& rows) const {
+  std::size_t candidates = 0;
+  for (const Sequence& row : rows)
+    candidates += passes_filter(read, row) ? 1u : 0u;
+  return candidates;
+}
+
+double ResmaBaseline::seconds_per_read(std::size_t read_length,
+                                       std::size_t candidates) const {
+  const double steps = 2.0 * static_cast<double>(read_length) - 1.0;
+  const double slots = std::ceil(static_cast<double>(candidates) /
+                                 static_cast<double>(config_.parallel_lanes));
+  return config_.filter_latency + slots * steps * config_.step_latency;
+}
+
+double ResmaBaseline::joules_per_read(std::size_t read_length,
+                                      std::size_t candidates) const {
+  const double steps = 2.0 * static_cast<double>(read_length) - 1.0;
+  // Each anti-diagonal step rewrites one column of DP cells per candidate.
+  const double writes = static_cast<double>(candidates) * steps *
+                        static_cast<double>(read_length);
+  return config_.filter_energy + writes * config_.write_energy_per_cell;
+}
+
+}  // namespace asmcap

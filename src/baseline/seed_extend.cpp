@@ -1,0 +1,82 @@
+#include "baseline/seed_extend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "align/edit_distance.h"
+
+namespace asmcap {
+
+void SeedExtendBaseline::index_rows(const std::vector<Sequence>& rows) {
+  index_ = KmerIndex(config_.k);
+  rows_ = rows;
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    index_.add_sequence(rows[r], static_cast<std::uint32_t>(r));
+}
+
+std::vector<bool> SeedExtendBaseline::decide_rows(const Sequence& read,
+                                                  std::size_t threshold) const {
+  std::vector<bool> decisions(rows_.size(), false);
+  last_candidates_ = 0;
+  if (read.size() < config_.k || rows_.empty()) return decisions;
+
+  // Seeding: group hits by (row, bucketed diagonal).
+  const long bucket = static_cast<long>(
+      config_.diagonal_slack == 0 ? 1 : config_.diagonal_slack);
+  std::map<std::pair<std::uint32_t, long>, std::size_t> seeds;
+  const auto kmers = extract_kmers(read, config_.k);
+  for (std::size_t pos = 0; pos < kmers.size(); ++pos) {
+    for (const KmerIndex::Hit& hit : index_.lookup(kmers[pos])) {
+      const long diagonal =
+          static_cast<long>(hit.position) - static_cast<long>(pos);
+      const long key = static_cast<long>(std::floor(
+          static_cast<double>(diagonal) / static_cast<double>(bucket) + 0.5));
+      ++seeds[{hit.sequence_id, key}];
+    }
+  }
+
+  // Rank candidates by seed support, keep the strongest few.
+  std::vector<std::pair<std::size_t, std::uint32_t>> ranked;  // (count, row)
+  for (const auto& [key, count] : seeds) ranked.push_back({count, key.first});
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::vector<bool> seen(rows_.size(), false);
+
+  // Extension: verify each distinct candidate row with banded DP.
+  for (const auto& [count, row] : ranked) {
+    if (seen[row]) continue;
+    seen[row] = true;
+    if (++last_candidates_ > config_.max_candidates) break;
+    decisions[row] =
+        banded_edit_distance(rows_[row], read, threshold).within_band;
+  }
+  return decisions;
+}
+
+double SeedExtendBaseline::seconds_per_read(std::size_t read_length,
+                                            std::size_t candidates) const {
+  const double lookups =
+      read_length >= config_.k
+          ? static_cast<double>(read_length - config_.k + 1)
+          : 0.0;
+  const double dp_cells = static_cast<double>(candidates) *
+                          static_cast<double>(read_length) *
+                          static_cast<double>(read_length);
+  return lookups * config_.seed_lookup_time +
+         dp_cells / config_.dp_cells_per_second;
+}
+
+double SeedExtendBaseline::joules_per_read(std::size_t read_length,
+                                           std::size_t candidates) const {
+  const double lookups =
+      read_length >= config_.k
+          ? static_cast<double>(read_length - config_.k + 1)
+          : 0.0;
+  const double dp_cells = static_cast<double>(candidates) *
+                          static_cast<double>(read_length) *
+                          static_cast<double>(read_length);
+  return lookups * config_.energy_per_lookup +
+         dp_cells * config_.energy_per_dp_cell;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,86 @@
+#include "cam/array.h"
+
+#include <stdexcept>
+
+#include "align/edstar.h"
+#include "align/hamming.h"
+
+namespace asmcap {
+
+CamArray::CamArray(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), segments_(rows), valid_(rows, false) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("CamArray: empty dimensions");
+}
+
+void CamArray::check_row(std::size_t row) const {
+  if (row >= rows_) throw std::out_of_range("CamArray: row out of range");
+}
+
+void CamArray::write_row(std::size_t row, const Sequence& segment) {
+  check_row(row);
+  if (segment.size() != cols_)
+    throw std::invalid_argument("CamArray::write_row: segment width mismatch");
+  segments_[row] = segment;
+  valid_[row] = true;
+}
+
+void CamArray::invalidate_row(std::size_t row) {
+  check_row(row);
+  valid_[row] = false;
+}
+
+bool CamArray::row_valid(std::size_t row) const {
+  check_row(row);
+  return valid_[row];
+}
+
+std::size_t CamArray::valid_rows() const {
+  std::size_t count = 0;
+  for (bool v : valid_) count += v ? 1u : 0u;
+  return count;
+}
+
+const Sequence& CamArray::row_segment(std::size_t row) const {
+  check_row(row);
+  if (!valid_[row]) throw std::logic_error("CamArray: row is invalid");
+  return segments_[row];
+}
+
+BitVec CamArray::row_mismatch_mask(std::size_t row, const Sequence& read,
+                                   MatchMode mode) const {
+  check_row(row);
+  if (read.size() != cols_)
+    throw std::invalid_argument("CamArray: read width mismatch");
+  if (!valid_[row]) return BitVec(cols_, true);
+  // The per-cell logic is exactly the ED*/HD mismatch definition; using the
+  // align kernels keeps the functional model and the metric definition in
+  // one place (cross-checked cell-by-cell in tests).
+  return mode == MatchMode::EdStar
+             ? ed_star_mismatch_mask(segments_[row], read)
+             : hamming_mismatch_mask(segments_[row], read);
+}
+
+std::vector<std::size_t> CamArray::search_counts(const Sequence& read,
+                                                 MatchMode mode) const {
+  if (read.size() != cols_)
+    throw std::invalid_argument("CamArray: read width mismatch");
+  std::vector<std::size_t> counts(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (!valid_[r]) continue;
+    counts[r] = mode == MatchMode::EdStar ? ed_star(segments_[r], read)
+                                          : segments_[r].mismatch_count(read);
+  }
+  return counts;
+}
+
+std::vector<BitVec> CamArray::search_masks(const Sequence& read,
+                                           MatchMode mode) const {
+  std::vector<BitVec> masks;
+  masks.reserve(rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    masks.push_back(row_mismatch_mask(r, read, mode));
+  return masks;
+}
+
+}  // namespace asmcap

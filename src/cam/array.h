@@ -1,0 +1,57 @@
+#pragma once
+// Functional CAM array: M rows of N cells, each row storing one reference
+// segment. The digital part of a search produces, per row, the vector of
+// cell outputs (the mismatch mask); the analog readout models turn that
+// into a noisy match decision.
+
+#include <cstddef>
+#include <vector>
+
+#include "cam/cell.h"
+#include "genome/sequence.h"
+#include "util/bitvec.h"
+
+namespace asmcap {
+
+class CamArray {
+ public:
+  /// An array of `rows` x `cols` cells, all rows initially invalid.
+  CamArray(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Writes a reference segment into a row (the decoder + WL driver path).
+  /// The segment length must equal the column count.
+  void write_row(std::size_t row, const Sequence& segment);
+
+  /// Marks a row invalid (its matchline is disabled during search).
+  void invalidate_row(std::size_t row);
+  bool row_valid(std::size_t row) const;
+  std::size_t valid_rows() const;
+
+  /// Stored segment of a row (throws if invalid).
+  const Sequence& row_segment(std::size_t row) const;
+
+  /// Digital search: mismatch mask of one row for a read in a mode.
+  BitVec row_mismatch_mask(std::size_t row, const Sequence& read,
+                           MatchMode mode) const;
+
+  /// Digital search over all valid rows: per-row mismatch counts. Invalid
+  /// rows report cols() (all-mismatch), which can never pass a threshold.
+  std::vector<std::size_t> search_counts(const Sequence& read,
+                                         MatchMode mode) const;
+
+  /// Per-row masks for all valid rows (empty mask for invalid rows).
+  std::vector<BitVec> search_masks(const Sequence& read, MatchMode mode) const;
+
+ private:
+  void check_row(std::size_t row) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Sequence> segments_;
+  std::vector<bool> valid_;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,23 @@
+#include "cam/cell.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+PartialMatch AsmcapCell::compare(const Sequence& read, std::size_t i) const {
+  if (i >= read.size()) throw std::out_of_range("AsmcapCell::compare");
+  PartialMatch out;
+  out.co_located = stored_ == read[i];
+  out.left = i > 0 && stored_ == read[i - 1];
+  out.right = i + 1 < read.size() && stored_ == read[i + 1];
+  return out;
+}
+
+bool AsmcapCell::mismatch(const Sequence& read, std::size_t i,
+                          MatchMode mode) const {
+  const PartialMatch partial = compare(read, i);
+  if (mode == MatchMode::Hamming) return !partial.co_located;
+  return !(partial.co_located || partial.left || partial.right);
+}
+
+}  // namespace asmcap

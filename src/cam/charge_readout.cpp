@@ -1,0 +1,61 @@
+#include "cam/charge_readout.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+ChargeArrayReadout::ChargeArrayReadout(std::size_t rows, std::size_t cols,
+                                       const ChargeDomainParams& params,
+                                       Rng& manufacture_rng)
+    : params_(params), cols_(cols), sense_amp_(params.sa_noise_sigma) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("ChargeArrayReadout: empty dimensions");
+  matchlines_.reserve(rows);
+  row_offsets_.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    matchlines_.emplace_back(cols, params_, manufacture_rng);
+    // Residual systematic SA offset per row (post-cancellation).
+    row_offsets_.push_back(
+        manufacture_rng.normal(0.0, params_.sa_offset_sigma));
+  }
+}
+
+double ChargeArrayReadout::settle_row(std::size_t row,
+                                      const BitVec& mask) const {
+  if (row >= rows()) throw std::out_of_range("ChargeArrayReadout::settle_row");
+  // The systematic SA offset is folded into the settled voltage: both are
+  // fixed per silicon, so the SA effectively compares (V_ML + offset).
+  return matchlines_[row].settle(mask) + row_offsets_[row];
+}
+
+bool ChargeArrayReadout::decide(double vml, std::size_t threshold,
+                                Rng& search_rng) const {
+  return sense_amp_.below(vml, charge_vref(threshold, cols_, params_.vdd),
+                          search_rng);
+}
+
+RowDecision ChargeArrayReadout::sense_row(std::size_t row, const BitVec& mask,
+                                          std::size_t threshold,
+                                          Rng& search_rng) {
+  if (row >= rows()) throw std::out_of_range("ChargeArrayReadout::sense_row");
+  const double vml = matchlines_[row].settle(mask);
+  const double vref = charge_vref(threshold, cols_, params_.vdd);
+  RowDecision decision;
+  decision.vml = vml;
+  decision.match = sense_amp_.below(vml, vref, search_rng);
+  energy_ += matchlines_[row].search_energy(mask.popcount());
+  return decision;
+}
+
+std::vector<RowDecision> ChargeArrayReadout::sense(
+    const std::vector<BitVec>& masks, std::size_t threshold, Rng& search_rng) {
+  if (masks.size() != rows())
+    throw std::invalid_argument("ChargeArrayReadout::sense: mask count");
+  std::vector<RowDecision> decisions;
+  decisions.reserve(rows());
+  for (std::size_t r = 0; r < rows(); ++r)
+    decisions.push_back(sense_row(r, masks[r], threshold, search_rng));
+  return decisions;
+}
+
+}  // namespace asmcap

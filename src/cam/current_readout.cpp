@@ -1,0 +1,69 @@
+#include "cam/current_readout.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+CurrentArrayReadout::CurrentArrayReadout(std::size_t rows, std::size_t cols,
+                                         const CurrentDomainParams& params,
+                                         Rng& manufacture_rng)
+    : params_(params), cols_(cols), sense_amp_(params.sa_noise_sigma) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("CurrentArrayReadout: empty dimensions");
+  matchlines_.reserve(rows);
+  row_offsets_.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    matchlines_.emplace_back(cols, params_, manufacture_rng);
+    // Systematic SA offset: the dynamic signal cannot be offset-cancelled.
+    row_offsets_.push_back(
+        manufacture_rng.normal(0.0, params_.sa_offset_sigma));
+  }
+}
+
+double CurrentArrayReadout::drop_row(std::size_t row,
+                                     const BitVec& mask) const {
+  if (row >= rows()) throw std::out_of_range("CurrentArrayReadout::drop_row");
+  return matchlines_[row].nominal_drop(mask);
+}
+
+bool CurrentArrayReadout::decide_from_drop(std::size_t row,
+                                           double nominal_drop,
+                                           std::size_t threshold,
+                                           Rng& search_rng) const {
+  if (row >= rows())
+    throw std::out_of_range("CurrentArrayReadout::decide_from_drop");
+  const CurrentMatchline& line = matchlines_[row];
+  const double vml =
+      line.sample_from_drop(nominal_drop, search_rng) + row_offsets_[row];
+  const double vref =
+      current_vref(threshold, params_.vdd, line.volts_per_count());
+  return sense_amp_.above(vml, vref, search_rng);
+}
+
+RowDecision CurrentArrayReadout::sense_row(std::size_t row, const BitVec& mask,
+                                           std::size_t threshold,
+                                           Rng& search_rng) {
+  if (row >= rows()) throw std::out_of_range("CurrentArrayReadout::sense_row");
+  const CurrentMatchline& line = matchlines_[row];
+  const double vml = line.sample(mask, search_rng) + row_offsets_[row];
+  const double vref =
+      current_vref(threshold, params_.vdd, line.volts_per_count());
+  RowDecision decision;
+  decision.vml = vml;
+  decision.match = sense_amp_.above(vml, vref, search_rng);
+  energy_ += line.search_energy(mask.popcount());
+  return decision;
+}
+
+std::vector<RowDecision> CurrentArrayReadout::sense(
+    const std::vector<BitVec>& masks, std::size_t threshold, Rng& search_rng) {
+  if (masks.size() != rows())
+    throw std::invalid_argument("CurrentArrayReadout::sense: mask count");
+  std::vector<RowDecision> decisions;
+  decisions.reserve(rows());
+  for (std::size_t r = 0; r < rows(); ++r)
+    decisions.push_back(sense_row(r, masks[r], threshold, search_rng));
+  return decisions;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,56 @@
+#pragma once
+// Current-domain readout (the EDAM sensing path): pre-charged matchlines
+// discharged by mismatched cells, sampled after the discharge window.
+// Match polarity is inverted relative to the charge domain: the line stays
+// *high* when few cells mismatch.
+
+#include <cstddef>
+#include <vector>
+
+#include "cam/charge_readout.h"  // RowDecision
+#include "circuit/matchline.h"
+#include "circuit/sense_amp.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+class CurrentArrayReadout {
+ public:
+  CurrentArrayReadout(std::size_t rows, std::size_t cols,
+                      const CurrentDomainParams& params, Rng& manufacture_rng);
+
+  /// Senses every row: match iff sampled V_ML >= V_ref(T).
+  std::vector<RowDecision> sense(const std::vector<BitVec>& masks,
+                                 std::size_t threshold, Rng& search_rng);
+
+  RowDecision sense_row(std::size_t row, const BitVec& mask,
+                        std::size_t threshold, Rng& search_rng);
+
+  /// Systematic (cacheable) nominal discharge of a row for a mask.
+  double drop_row(std::size_t row, const BitVec& mask) const;
+
+  /// Full noisy decision from a cached nominal drop: jitter + clamp + S/H
+  /// noise + SA compare.
+  bool decide_from_drop(std::size_t row, double nominal_drop,
+                        std::size_t threshold, Rng& search_rng) const;
+
+  std::size_t rows() const { return matchlines_.size(); }
+  std::size_t cols() const { return cols_; }
+  double consumed_energy() const { return energy_; }
+  void reset_energy() { energy_ = 0.0; }
+  const CurrentDomainParams& params() const { return params_; }
+  const CurrentMatchline& matchline(std::size_t row) const {
+    return matchlines_.at(row);
+  }
+
+ private:
+  CurrentDomainParams params_;
+  std::size_t cols_;
+  std::vector<CurrentMatchline> matchlines_;
+  std::vector<double> row_offsets_;  ///< systematic per-row SA offsets [V].
+  SenseAmp sense_amp_;
+  double energy_ = 0.0;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,29 @@
+#include "cam/interconnect.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+HTree::HTree(std::size_t leaves, HTreeParams params)
+    : leaves_(1), levels_(0), params_(params) {
+  if (leaves == 0) throw std::invalid_argument("HTree: no leaves");
+  while (leaves_ < leaves) {
+    leaves_ <<= 1;
+    ++levels_;
+  }
+}
+
+double HTree::broadcast_latency() const {
+  return static_cast<double>(levels_) * params_.level_latency;
+}
+
+double HTree::broadcast_energy(std::size_t bases) const {
+  // Level l (root = 0) drives 2^(l+1) half-width segments; summing over
+  // levels gives (2^levels+1 - 2) segment-broadcasts = 2*(leaves-1).
+  const double segments = 2.0 * (static_cast<double>(leaves_) - 1.0);
+  return segments * static_cast<double>(bases) *
+         static_cast<double>(params_.bits_per_base) *
+         params_.energy_per_bit_level;
+}
+
+}  // namespace asmcap

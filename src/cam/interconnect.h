@@ -1,0 +1,47 @@
+#pragma once
+// H-tree broadcast interconnect (paper Fig. 4a): reads from the global
+// buffer fan out to all ASMCap arrays through a balanced binary H-tree.
+// The model captures the broadcast latency (log2 levels of buffered wire)
+// and energy (every level switches the full read width across its
+// segments), which the system model adds on top of the array search.
+
+#include <cstddef>
+
+namespace asmcap {
+
+struct HTreeParams {
+  /// Wire latency per tree level (buffered segment) [s].
+  double level_latency = 50e-12;
+  /// Energy per bit per level-segment (short buffered on-chip wire) [J].
+  double energy_per_bit_level = 1e-15;
+  /// Bits per base on the distribution bus (2-bit encoding both rails).
+  std::size_t bits_per_base = 4;
+};
+
+class HTree {
+ public:
+  /// A tree spanning `leaves` arrays (rounded up to a power of two).
+  explicit HTree(std::size_t leaves, HTreeParams params = {});
+
+  std::size_t leaves() const { return leaves_; }
+  std::size_t levels() const { return levels_; }
+
+  /// One-way broadcast latency of a read to every leaf.
+  double broadcast_latency() const;
+
+  /// Broadcast energy for a read of `bases` bases: each level switches the
+  /// read across 2^level segments.
+  double broadcast_energy(std::size_t bases) const;
+
+  /// Result-collection latency (match bitmap back up the tree).
+  double collect_latency() const { return broadcast_latency(); }
+
+  const HTreeParams& params() const { return params_; }
+
+ private:
+  std::size_t leaves_;
+  std::size_t levels_;
+  HTreeParams params_;
+};
+
+}  // namespace asmcap

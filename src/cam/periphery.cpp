@@ -1,0 +1,41 @@
+#include "cam/periphery.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+RowDecoder::RowDecoder(std::size_t rows) : rows_(rows), bits_(0) {
+  if (rows == 0) throw std::invalid_argument("RowDecoder: zero rows");
+  std::size_t capacity = 1;
+  while (capacity < rows_) {
+    capacity <<= 1;
+    ++bits_;
+  }
+}
+
+std::size_t RowDecoder::decode(std::size_t address) const {
+  if (address >= rows_)
+    throw std::out_of_range("RowDecoder: address beyond last row");
+  return address;
+}
+
+SearchlineDriver::SearchlineDriver(std::size_t width,
+                                   SearchlineDriverParams params)
+    : width_(width), params_(params) {
+  if (width == 0) throw std::invalid_argument("SearchlineDriver: zero width");
+}
+
+double SearchlineDriver::drive(const Sequence& read) {
+  if (read.size() != width_)
+    throw std::invalid_argument("SearchlineDriver::drive: width mismatch");
+  const double energy =
+      params_.energy_per_base * static_cast<double>(read.size());
+  energy_ += energy;
+  return energy;
+}
+
+double row_write_energy(std::size_t cols, const WriteCostParams& params) {
+  return params.energy_per_base * static_cast<double>(cols);
+}
+
+}  // namespace asmcap

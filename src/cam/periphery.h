@@ -1,0 +1,64 @@
+#pragma once
+// Array periphery: row-address decoder + wordline driver (the write path)
+// and the searchline buffer/driver (the search path). Functional address
+// decoding plus the latency/energy contributions the system model charges
+// for writes and for driving reads into the SLs.
+
+#include <cstddef>
+
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+/// One-hot row decoder: models the decoder + WL driver of Fig. 4b.
+class RowDecoder {
+ public:
+  explicit RowDecoder(std::size_t rows);
+
+  /// Decodes an address into the selected row; throws on out-of-range
+  /// addresses (the hardware would assert no wordline).
+  std::size_t decode(std::size_t address) const;
+
+  /// Number of address bits.
+  std::size_t address_bits() const { return bits_; }
+  std::size_t rows() const { return rows_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t bits_;
+};
+
+/// Searchline buffer & driver: converts a read into differential SL levels.
+/// Functionally an identity with width checking; the energy/latency numbers
+/// feed the system model.
+struct SearchlineDriverParams {
+  double energy_per_base = 8e-15;  ///< [J] per base per search (both rails).
+  double drive_latency = 0.3e-9;   ///< [s], already included in search_time.
+};
+
+class SearchlineDriver {
+ public:
+  SearchlineDriver(std::size_t width, SearchlineDriverParams params = {});
+
+  /// Validates and "drives" a read; returns the energy charged.
+  double drive(const Sequence& read);
+
+  double consumed_energy() const { return energy_; }
+  void reset_energy() { energy_ = 0.0; }
+  std::size_t width() const { return width_; }
+
+ private:
+  std::size_t width_;
+  SearchlineDriverParams params_;
+  double energy_ = 0.0;
+};
+
+/// Write-path cost of storing one segment (decoder + WL pulse + SRAM flip).
+struct WriteCostParams {
+  double energy_per_base = 30e-15;  ///< [J]
+  double latency_per_row = 2e-9;    ///< [s]
+};
+
+double row_write_energy(std::size_t cols, const WriteCostParams& params = {});
+
+}  // namespace asmcap

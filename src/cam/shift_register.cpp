@@ -1,0 +1,41 @@
+#include "cam/shift_register.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+ShiftRegisterFile::ShiftRegisterFile(std::size_t width) : width_(width) {
+  if (width == 0) throw std::invalid_argument("ShiftRegisterFile: zero width");
+}
+
+void ShiftRegisterFile::load(const Sequence& read) {
+  if (read.size() != width_)
+    throw std::invalid_argument("ShiftRegisterFile::load: width mismatch");
+  original_ = read;
+  current_ = read;
+  loaded_ = true;
+}
+
+void ShiftRegisterFile::rotate_left() {
+  if (!loaded_) throw std::logic_error("ShiftRegisterFile: nothing loaded");
+  current_ = current_.rotated_left(1);
+  ++shift_cycles_;
+}
+
+void ShiftRegisterFile::rotate_right() {
+  if (!loaded_) throw std::logic_error("ShiftRegisterFile: nothing loaded");
+  current_ = current_.rotated_right(1);
+  ++shift_cycles_;
+}
+
+void ShiftRegisterFile::restore() {
+  if (!loaded_) throw std::logic_error("ShiftRegisterFile: nothing loaded");
+  current_ = original_;
+}
+
+const Sequence& ShiftRegisterFile::value() const {
+  if (!loaded_) throw std::logic_error("ShiftRegisterFile: nothing loaded");
+  return current_;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,44 @@
+#pragma once
+// Shift registers with enable signal (paper Fig. 4b): hold the incoming
+// read and rotate it left or right base-by-base for the TASR strategy.
+// Functionally a rotating register file; the model also counts shift
+// cycles so the controller can account TASR's latency overhead.
+
+#include <cstddef>
+
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+class ShiftRegisterFile {
+ public:
+  explicit ShiftRegisterFile(std::size_t width);
+
+  /// Loads a read (enable asserted); width must match.
+  void load(const Sequence& read);
+
+  /// Rotates the held read one base left/right (one cycle each).
+  void rotate_left();
+  void rotate_right();
+
+  /// Restores the originally loaded read without extra shift cycles
+  /// (the registers are reloaded from the SL buffer).
+  void restore();
+
+  const Sequence& value() const;
+  bool loaded() const { return loaded_; }
+  std::size_t width() const { return width_; }
+
+  /// Total shift cycles executed since construction (TASR latency ledger).
+  std::size_t shift_cycles() const { return shift_cycles_; }
+  void reset_cycles() { shift_cycles_ = 0; }
+
+ private:
+  std::size_t width_;
+  Sequence original_;
+  Sequence current_;
+  bool loaded_ = false;
+  std::size_t shift_cycles_ = 0;
+};
+
+}  // namespace asmcap

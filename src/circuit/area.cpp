@@ -1,0 +1,38 @@
+#include "circuit/area.h"
+
+namespace asmcap {
+
+double AreaModel::asmcap_cell_area() const {
+  return static_cast<double>(params_.asmcap_cell_transistors) *
+         params_.transistor_area * params_.asmcap_layout_factor;
+}
+
+double AreaModel::edam_cell_area() const {
+  return static_cast<double>(params_.edam_cell_transistors) *
+         params_.transistor_area * params_.edam_layout_factor;
+}
+
+ArrayAreaBreakdown AreaModel::breakdown(double cell_area, std::size_t rows,
+                                        std::size_t cols) const {
+  ArrayAreaBreakdown out;
+  out.cell_area = cell_area;
+  out.cells_total = cell_area * static_cast<double>(rows) *
+                    static_cast<double>(cols);
+  // Periphery expressed as a fraction of the total: total = cells / (1 - f).
+  out.total = out.cells_total / (1.0 - params_.periphery_area_fraction);
+  out.periphery = out.total - out.cells_total;
+  out.cells_fraction = out.cells_total / out.total;
+  return out;
+}
+
+ArrayAreaBreakdown AreaModel::asmcap_array(std::size_t rows,
+                                           std::size_t cols) const {
+  return breakdown(asmcap_cell_area(), rows, cols);
+}
+
+ArrayAreaBreakdown AreaModel::edam_array(std::size_t rows,
+                                         std::size_t cols) const {
+  return breakdown(edam_cell_area(), rows, cols);
+}
+
+}  // namespace asmcap

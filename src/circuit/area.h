@@ -1,0 +1,44 @@
+#pragma once
+// Layout-area model (paper Table I and §V-B). Cell areas follow from
+// transistor counts and a 65 nm layout density; the MIM capacitors sit in
+// the metal stack above the cell and cost no silicon area.
+
+#include <cstddef>
+
+#include "circuit/process.h"
+
+namespace asmcap {
+
+struct ArrayAreaBreakdown {
+  double cell_area = 0.0;       ///< One cell [m^2].
+  double cells_total = 0.0;     ///< All cells [m^2].
+  double periphery = 0.0;       ///< SAs, decoder, drivers, shift registers [m^2].
+  double total = 0.0;           ///< Whole array [m^2].
+  double cells_fraction = 0.0;  ///< cells_total / total.
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(const AreaParams& params) : params_(params) {}
+
+  /// ASMCap cell area (Table I: 24.0 µm²).
+  double asmcap_cell_area() const;
+
+  /// EDAM cell area (Table I: 33.4 µm²).
+  double edam_cell_area() const;
+
+  /// Full-array breakdown for an ASMCap array of rows x cols cells
+  /// (§V-B: 1.58 mm² for 256x256, >99 % cells).
+  ArrayAreaBreakdown asmcap_array(std::size_t rows, std::size_t cols) const;
+
+  /// Full-array breakdown for an EDAM array.
+  ArrayAreaBreakdown edam_array(std::size_t rows, std::size_t cols) const;
+
+ private:
+  ArrayAreaBreakdown breakdown(double cell_area, std::size_t rows,
+                               std::size_t cols) const;
+
+  AreaParams params_;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,48 @@
+#pragma once
+// Capacitor bank of one charge-domain matchline row. Per-cell capacitances
+// are drawn once at construction (manufacturing mismatch is systematic: the
+// same silicon answers every search), matching the i.i.d. normal model the
+// paper adopts from CapCAM [17].
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/process.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+class CapacitorBank {
+ public:
+  /// Samples `n` capacitances from N(cap_mean, (cap_sigma_rel*cap_mean)^2),
+  /// truncated at ±4σ to keep them physical.
+  CapacitorBank(std::size_t n, const ChargeDomainParams& params, Rng& rng);
+
+  /// Ideal (mismatch-free) matchline voltage for a given mismatch count:
+  /// V_ML = n_mis / N * VDD.
+  double ideal_vml(std::size_t n_mis) const;
+
+  /// Actual settled matchline voltage for a specific set of mismatched
+  /// cells: the capacitive divider V_ML = sum_mis(C_i) / sum_all(C_i) * VDD.
+  double actual_vml(const BitVec& mismatch_mask) const;
+
+  /// Paper Eq. (2): analytic variance of V_ML for a mismatch count.
+  double vml_variance(std::size_t n_mis) const;
+
+  /// Paper Eq. (1) for a single row (M = 1): energy of one search with the
+  /// given mismatch count, E = n_mis (N - n_mis) / N * µ_C * VDD^2.
+  double search_energy(std::size_t n_mis) const;
+
+  std::size_t size() const { return caps_.size(); }
+  double capacitance(std::size_t i) const { return caps_.at(i); }
+  double total_capacitance() const { return total_; }
+  const ChargeDomainParams& params() const { return params_; }
+
+ private:
+  ChargeDomainParams params_;
+  std::vector<double> caps_;
+  double total_ = 0.0;
+};
+
+}  // namespace asmcap

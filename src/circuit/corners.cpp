@@ -1,0 +1,53 @@
+#include "circuit/corners.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+const char* to_string(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::SS: return "SS";
+    case ProcessCorner::TT: return "TT";
+    case ProcessCorner::FF: return "FF";
+  }
+  return "?";
+}
+
+CornerScaling corner_scaling(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::SS: return {1.25, 0.85, 1.15};
+    case ProcessCorner::TT: return {1.0, 1.0, 1.0};
+    case ProcessCorner::FF: return {0.85, 1.15, 0.95};
+  }
+  throw std::invalid_argument("corner_scaling: unknown corner");
+}
+
+ProcessParams apply_corner(const ProcessParams& nominal, ProcessCorner corner,
+                           double vdd) {
+  if (vdd <= 0.0) throw std::invalid_argument("apply_corner: bad vdd");
+  const CornerScaling scale = corner_scaling(corner);
+  // Alpha-power-law delay dependence on supply, normalised at 1.2 V.
+  const double voltage_delay = 1.2 / vdd;
+
+  ProcessParams out = nominal;
+  const double delay = scale.delay * voltage_delay;
+
+  out.charge.vdd = vdd;
+  out.charge.t_sl_drive *= delay;
+  out.charge.t_settle *= delay;
+  out.charge.t_sense *= delay;
+  out.charge.cap_sigma_rel *= scale.mismatch;  // cap mismatch is layout-set,
+                                               // corner effect is mild
+
+  out.current.vdd = vdd;
+  out.current.t_precharge *= delay;
+  out.current.t_discharge *= delay;
+  out.current.t_sample *= delay;
+  out.current.cell_current *= scale.current * (vdd / 1.2);
+  out.current.i_sigma_rel *= scale.mismatch;
+
+  validate(out);
+  return out;
+}
+
+}  // namespace asmcap

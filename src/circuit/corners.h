@@ -1,0 +1,32 @@
+#pragma once
+// Process corners for the 65 nm models. The paper's numbers are typical
+// (TT); corner scaling lets the benches report how the Table I quantities
+// move across SS/TT/FF silicon and across the voltage range — the kind of
+// sign-off sweep a tape-out would require.
+
+#include <string>
+
+#include "circuit/process.h"
+
+namespace asmcap {
+
+enum class ProcessCorner { SS, TT, FF };
+
+const char* to_string(ProcessCorner corner);
+
+struct CornerScaling {
+  double delay = 1.0;       ///< multiplies all timing phases
+  double current = 1.0;     ///< multiplies the discharge cell current
+  double mismatch = 1.0;    ///< multiplies device sigma (slow corners vary more)
+};
+
+/// Standard scaling factors per corner (relative to TT).
+CornerScaling corner_scaling(ProcessCorner corner);
+
+/// Applies a corner (and optional supply scaling) to a parameter bundle.
+/// Voltage scaling follows the alpha-power delay model (~1/V at 65 nm) and
+/// scales all V_DD-referenced quantities consistently.
+ProcessParams apply_corner(const ProcessParams& nominal, ProcessCorner corner,
+                           double vdd = 1.2);
+
+}  // namespace asmcap

@@ -1,0 +1,89 @@
+#pragma once
+// Matchline readout models.
+//
+// Charge domain (ASMCap, Fig. 3b): V_ML settles at the capacitive-divider
+// value — time-independent, linear in the mismatch count. The only noise a
+// search sees is the (systematic) capacitor mismatch plus the SA's random
+// input-referred noise.
+//
+// Current domain (EDAM, Fig. 3a): the pre-charged matchline discharges with
+// a slope proportional to the mismatch count; the sampled voltage inherits
+// per-cell current mismatch (systematic), sampling-clock jitter and
+// sample-and-hold noise (random per search), and clamps at ground — the
+// non-linearity that compresses high-mismatch levels.
+
+#include <cstddef>
+
+#include "circuit/capacitor.h"
+#include "circuit/process.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+/// One charge-domain row: owns its capacitor bank (manufactured once).
+class ChargeMatchline {
+ public:
+  ChargeMatchline(std::size_t n_cells, const ChargeDomainParams& params,
+                  Rng& manufacture_rng);
+
+  /// Settled V_ML for a mismatch mask, *without* SA noise (the SA adds its
+  /// noise at decision time, see SenseAmp).
+  double settle(const BitVec& mismatch_mask) const;
+
+  double ideal_vml(std::size_t n_mis) const { return bank_.ideal_vml(n_mis); }
+  double search_energy(std::size_t n_mis) const {
+    return bank_.search_energy(n_mis);
+  }
+  double vml_variance(std::size_t n_mis) const {
+    return bank_.vml_variance(n_mis);
+  }
+
+  std::size_t cells() const { return bank_.size(); }
+  const CapacitorBank& bank() const { return bank_; }
+
+ private:
+  CapacitorBank bank_;
+};
+
+/// One current-domain row: owns its per-cell discharge currents.
+class CurrentMatchline {
+ public:
+  CurrentMatchline(std::size_t n_cells, const CurrentDomainParams& params,
+                   Rng& manufacture_rng);
+
+  /// Sampled matchline voltage for a mismatch mask. Random per-search
+  /// effects (clock jitter, S/H noise) are drawn from `search_rng`; the
+  /// systematic per-cell current mismatch is fixed at construction.
+  /// The result clamps at 0 (full discharge).
+  double sample(const BitVec& mismatch_mask, Rng& search_rng) const;
+
+  /// Systematic (per-silicon) part of the discharge: the nominal voltage
+  /// drop including current mismatch but before jitter, clamping, and S/H
+  /// noise. Cacheable per (row, mask); feed to sample_from_drop per search.
+  double nominal_drop(const BitVec& mismatch_mask) const;
+
+  /// Applies the random per-search effects to a cached nominal drop and
+  /// returns the held sample (clamped at ground).
+  double sample_from_drop(double nominal_drop, Rng& search_rng) const;
+
+  /// Ideal (noise-free, nominal-current) sampled voltage for a count.
+  double ideal_vml(std::size_t n_mis) const;
+
+  /// Volts one mismatch count is worth at the sampling instant.
+  double volts_per_count() const;
+
+  /// Energy of one search: pre-charge of the matchline capacitance plus the
+  /// integrated discharge current of the mismatched cells over the window.
+  double search_energy(std::size_t n_mis) const;
+
+  std::size_t cells() const { return currents_.size(); }
+  const CurrentDomainParams& params() const { return params_; }
+
+ private:
+  CurrentDomainParams params_;
+  std::vector<double> currents_;  ///< Per-cell discharge currents [A].
+  double ml_capacitance_ = 0.0;   ///< Total matchline capacitance [F].
+};
+
+}  // namespace asmcap

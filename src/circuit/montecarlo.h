@@ -1,0 +1,57 @@
+#pragma once
+// Distinguishable-state analysis (paper §V-D): how many matchline levels a
+// readout scheme can separate under the 3σ constraint. Both the analytic
+// forms and a Monte-Carlo validation over manufactured rows are provided;
+// with the paper's parameters they yield 44 states for EDAM's
+// current-domain sensing (2.5 % current σ) and 566 for ASMCap's
+// charge-domain sensing (1.4 % capacitor σ).
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/process.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace asmcap {
+
+/// Analytic maximum row length N such that *every* pair of adjacent
+/// charge-domain levels is separated by at least 3σ of each level
+/// (worst case at n_mis = N/2, per paper Eq. 2):
+///   VDD/N >= 3 (σ_n + σ_{n+1})  for all n  ⇔  sqrt(N) <= 1 / (3 σ_C/µ_C).
+std::size_t charge_domain_max_states(const ChargeDomainParams& params);
+
+/// Analytic maximum number of distinguishable discharge counts for the
+/// current domain: σ_n = sqrt(n) · (σ_I/µ_I) · Δ grows with the count, so
+/// the constraint Δ >= 3 (σ_n + σ_{n+1}) caps the usable count at
+/// 3 (σ_I/µ_I) (sqrt(n) + sqrt(n+1)) <= 1.
+std::size_t current_domain_max_states(const CurrentDomainParams& params);
+
+/// Per-level Monte-Carlo statistics of a readout scheme.
+struct LevelStats {
+  std::size_t n_mis = 0;
+  double mean_vml = 0.0;
+  double sigma_vml = 0.0;
+};
+
+/// Samples `trials` manufactured charge-domain rows of `n_cells` cells and
+/// measures V_ML statistics at each requested mismatch count. Mismatch
+/// positions are re-drawn per trial (the variance in Eq. 2 is over both
+/// manufacturing and position placement).
+std::vector<LevelStats> mc_charge_levels(const ChargeDomainParams& params,
+                                         std::size_t n_cells,
+                                         const std::vector<std::size_t>& counts,
+                                         std::size_t trials, Rng& rng);
+
+/// Same for the current domain (includes the random per-search jitter and
+/// sample-and-hold noise that the real sampling path suffers).
+std::vector<LevelStats> mc_current_levels(const CurrentDomainParams& params,
+                                          std::size_t n_cells,
+                                          const std::vector<std::size_t>& counts,
+                                          std::size_t trials, Rng& rng);
+
+/// Counts how many of the adjacent level pairs in `levels` satisfy the 3σ
+/// separation criterion |µ_{k+1} − µ_k| >= 3 (σ_k + σ_{k+1}).
+std::size_t count_separated_pairs(const std::vector<LevelStats>& levels);
+
+}  // namespace asmcap

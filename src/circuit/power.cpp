@@ -1,0 +1,101 @@
+#include "circuit/power.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asmcap {
+
+namespace {
+
+void check_dims(std::size_t rows, std::size_t cols, double avg_n_mis) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("PowerModel: empty array");
+  if (avg_n_mis < 0.0 || avg_n_mis > static_cast<double>(cols))
+    throw std::invalid_argument("PowerModel: avg_n_mis out of range");
+}
+
+}  // namespace
+
+double PowerModel::asmcap_search_energy(std::size_t rows, std::size_t cols,
+                                        double avg_n_mis) const {
+  check_dims(rows, cols, avg_n_mis);
+  const auto& charge = process_.charge;
+  const double n = static_cast<double>(cols);
+  // Paper Eq. (1): E_S = M * n_mis (N - n_mis) / N * µ_C * VDD^2.
+  const double cells = static_cast<double>(rows) * avg_n_mis *
+                       (n - avg_n_mis) / n * charge.cap_mean * charge.vdd *
+                       charge.vdd;
+  const double shift_registers =
+      static_cast<double>(cols) *
+      static_cast<double>(periphery_.flops_per_row_bit) *
+      periphery_.flop_energy;
+  const double sense_amps = static_cast<double>(rows) * periphery_.sa_energy;
+  return cells + shift_registers + sense_amps;
+}
+
+double PowerModel::edam_search_energy(std::size_t rows, std::size_t cols,
+                                      double avg_n_mis) const {
+  check_dims(rows, cols, avg_n_mis);
+  const auto& current = process_.current;
+  const double ml_cap = current.ml_cap_per_cell * static_cast<double>(cols);
+  const double volts_per_count =
+      current.cell_current * current.t_discharge / ml_cap;
+  const double drop = std::min(current.vdd, avg_n_mis * volts_per_count);
+  // Pre-charge restores the discharged swing; mismatched cells crowbar for
+  // the full discharge window.
+  const double per_row_precharge = ml_cap * current.vdd * drop;
+  const double per_row_crowbar = avg_n_mis * current.cell_current *
+                                 current.vdd * current.t_discharge;
+  const double cells =
+      static_cast<double>(rows) * (per_row_precharge + per_row_crowbar);
+  // EDAM has no rotation shift registers in the baseline array, but it pays
+  // a sample-and-hold per row in addition to the SA.
+  const double sense_amps = static_cast<double>(rows) *
+                            (periphery_.sa_energy + periphery_.sh_energy);
+  return cells + sense_amps;
+}
+
+ArrayPowerBreakdown PowerModel::asmcap_array_power(std::size_t rows,
+                                                   std::size_t cols,
+                                                   double avg_n_mis) const {
+  check_dims(rows, cols, avg_n_mis);
+  const double t = process_.charge.search_time();
+  const auto& charge = process_.charge;
+  const double n = static_cast<double>(cols);
+  ArrayPowerBreakdown out;
+  const double cells_energy = static_cast<double>(rows) * avg_n_mis *
+                              (n - avg_n_mis) / n * charge.cap_mean *
+                              charge.vdd * charge.vdd;
+  const double sr_energy = static_cast<double>(cols) *
+                           static_cast<double>(periphery_.flops_per_row_bit) *
+                           periphery_.flop_energy;
+  const double sa_energy = static_cast<double>(rows) * periphery_.sa_energy;
+  out.cells = cells_energy / t;
+  out.shift_registers = sr_energy / t;
+  out.sense_amps = sa_energy / t;
+  out.energy_per_search = cells_energy + sr_energy + sa_energy;
+  out.total = out.cells + out.shift_registers + out.sense_amps;
+  out.per_cell = out.total / (static_cast<double>(rows) * n);
+  return out;
+}
+
+ArrayPowerBreakdown PowerModel::edam_array_power(std::size_t rows,
+                                                 std::size_t cols,
+                                                 double avg_n_mis) const {
+  check_dims(rows, cols, avg_n_mis);
+  const double t = process_.current.search_time();
+  ArrayPowerBreakdown out;
+  const double total_energy = edam_search_energy(rows, cols, avg_n_mis);
+  const double sa_energy = static_cast<double>(rows) *
+                           (periphery_.sa_energy + periphery_.sh_energy);
+  out.cells = (total_energy - sa_energy) / t;
+  out.shift_registers = 0.0;
+  out.sense_amps = sa_energy / t;
+  out.energy_per_search = total_energy;
+  out.total = total_energy / t;
+  out.per_cell =
+      out.total / (static_cast<double>(rows) * static_cast<double>(cols));
+  return out;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,75 @@
+#pragma once
+// Power / energy model (paper Table I, §V-B). Energy per search for the
+// charge domain follows Eq. (1); periphery (shift registers, sense amps)
+// adds fixed per-search costs. The current-domain (EDAM) search pays the
+// matchline pre-charge plus the crowbar current of every mismatched cell
+// over the discharge window.
+
+#include <cstddef>
+
+#include "circuit/process.h"
+
+namespace asmcap {
+
+/// Per-search periphery energies of one array.
+struct PeripheryEnergyParams {
+  /// Shift-register flop energy per search cycle [J] (the registers clock
+  /// once per search to present the read on the search lines).
+  double flop_energy = 5e-15;
+  std::size_t flops_per_row_bit = 1;  ///< One flop per read base (x2 SL rails folded in).
+  /// Sense-amplifier decision energy [J] per row per search.
+  double sa_energy = 1.6e-15;
+  /// Sample-and-hold energy per row per search (EDAM only) [J].
+  double sh_energy = 6e-15;
+};
+
+struct ArrayPowerBreakdown {
+  double cells = 0.0;            ///< [W]
+  double shift_registers = 0.0;  ///< [W]
+  double sense_amps = 0.0;       ///< [W]
+  double total = 0.0;            ///< [W]
+  double energy_per_search = 0.0;  ///< [J]
+  double per_cell = 0.0;         ///< average power per cell [W]
+};
+
+class PowerModel {
+ public:
+  PowerModel(const ProcessParams& process, PeripheryEnergyParams periphery = {})
+      : process_(process), periphery_(periphery) {}
+
+  /// Energy of one ASMCap array search (M rows x N cells) with the given
+  /// average mismatch count per row (paper Eq. 1 plus periphery).
+  double asmcap_search_energy(std::size_t rows, std::size_t cols,
+                              double avg_n_mis) const;
+
+  /// Energy of one EDAM array search.
+  double edam_search_energy(std::size_t rows, std::size_t cols,
+                            double avg_n_mis) const;
+
+  /// Average power of an ASMCap array searching back-to-back (one search
+  /// per search_time). §V-B reports 7.67 mW for 256x256 with the workload
+  /// mismatch statistics the paper assumes (n_mis close to N).
+  ArrayPowerBreakdown asmcap_array_power(std::size_t rows, std::size_t cols,
+                                         double avg_n_mis) const;
+
+  /// Average power of an EDAM array under the same conditions (Table I:
+  /// about 1 µW per cell, 8.5x the ASMCap cell).
+  ArrayPowerBreakdown edam_array_power(std::size_t rows, std::size_t cols,
+                                       double avg_n_mis) const;
+
+  const ProcessParams& process() const { return process_; }
+  const PeripheryEnergyParams& periphery() const { return periphery_; }
+
+  /// The paper's implicit workload assumption: mismatch counts close to N
+  /// ("n_mis is close to N for most rows", §III-C). Used as the default
+  /// operating point for reproducing Table I / §V-B.
+  static double paper_avg_n_mis(std::size_t cols) {
+    return 0.9725 * static_cast<double>(cols);
+  }
+
+ private:
+  ProcessParams process_;
+  PeripheryEnergyParams periphery_;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,45 @@
+#include "circuit/process.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+namespace {
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+void validate(const ProcessParams& params) {
+  require(params.charge.vdd > 0, "charge.vdd must be positive");
+  require(params.charge.cap_mean > 0, "charge.cap_mean must be positive");
+  require(params.charge.cap_sigma_rel >= 0 && params.charge.cap_sigma_rel < 1,
+          "charge.cap_sigma_rel must be in [0,1)");
+  require(params.charge.sa_noise_sigma >= 0,
+          "charge.sa_noise_sigma must be non-negative");
+  require(params.charge.search_time() > 0, "charge search time must be positive");
+
+  require(params.current.vdd > 0, "current.vdd must be positive");
+  require(params.current.i_sigma_rel >= 0 && params.current.i_sigma_rel < 1,
+          "current.i_sigma_rel must be in [0,1)");
+  require(params.current.timing_jitter_rel >= 0 &&
+              params.current.timing_jitter_rel < 1,
+          "current.timing_jitter_rel must be in [0,1)");
+  require(params.current.search_time() > 0,
+          "current search time must be positive");
+  require(params.current.ml_cap_per_cell > 0,
+          "current.ml_cap_per_cell must be positive");
+  require(params.current.cell_current > 0,
+          "current.cell_current must be positive");
+
+  require(params.area.transistor_area > 0, "area.transistor_area must be positive");
+  require(params.area.asmcap_cell_transistors > 0, "asmcap cell transistors");
+  require(params.area.edam_cell_transistors > 0, "edam cell transistors");
+  require(params.area.periphery_area_fraction >= 0 &&
+              params.area.periphery_area_fraction < 1,
+          "periphery_area_fraction must be in [0,1)");
+}
+
+}  // namespace asmcap

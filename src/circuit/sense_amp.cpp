@@ -1,0 +1,29 @@
+#include "circuit/sense_amp.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+bool SenseAmp::below(double vml, double vref, Rng& rng) const {
+  const double noisy =
+      noise_sigma_ > 0.0 ? vml + rng.normal(0.0, noise_sigma_) : vml;
+  return noisy <= vref;
+}
+
+bool SenseAmp::above(double vml, double vref, Rng& rng) const {
+  const double noisy =
+      noise_sigma_ > 0.0 ? vml + rng.normal(0.0, noise_sigma_) : vml;
+  return noisy >= vref;
+}
+
+double charge_vref(std::size_t threshold, std::size_t n_cells, double vdd) {
+  if (n_cells == 0) throw std::invalid_argument("charge_vref: n_cells == 0");
+  return (static_cast<double>(threshold) + 0.5) /
+         static_cast<double>(n_cells) * vdd;
+}
+
+double current_vref(std::size_t threshold, double vdd, double volts_per_count) {
+  return vdd - (static_cast<double>(threshold) + 0.5) * volts_per_count;
+}
+
+}  // namespace asmcap

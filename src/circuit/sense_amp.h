@@ -1,0 +1,44 @@
+#pragma once
+// Sense amplifier: compares V_ML with V_ref and outputs the match decision.
+// ASMCap (paper §III-B): output '1' (match) iff V_ML <= V_ref with
+// V_ref = T / N * VDD, i.e. ED* <= T. The SA adds Gaussian input-referred
+// noise; for the current-domain (EDAM) path the polarity flips (mismatches
+// *discharge* the line, so match means V_ML *above* the reference).
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace asmcap {
+
+class SenseAmp {
+ public:
+  /// `noise_sigma` is the input-referred offset+noise sigma in volts,
+  /// re-drawn per decision (offset cancellation leaves only the random
+  /// component; the systematic part is folded into the same sigma).
+  explicit SenseAmp(double noise_sigma) : noise_sigma_(noise_sigma) {}
+
+  /// Match decision for "low means match" polarity (charge domain):
+  /// returns true iff (vml + noise) <= vref.
+  bool below(double vml, double vref, Rng& rng) const;
+
+  /// Match decision for "high means match" polarity (current domain):
+  /// returns true iff (vml + noise) >= vref.
+  bool above(double vml, double vref, Rng& rng) const;
+
+  double noise_sigma() const { return noise_sigma_; }
+
+ private:
+  double noise_sigma_;
+};
+
+/// Reference-voltage generator for the charge domain: V_ref places the
+/// decision boundary halfway between the T-th and (T+1)-th level so both
+/// sides get equal noise margin: V_ref = (T + 0.5) / N * VDD.
+double charge_vref(std::size_t threshold, std::size_t n_cells, double vdd);
+
+/// Reference for the current domain: level T sits at VDD - T*volts_per_count,
+/// boundary again placed half a count further down.
+double current_vref(std::size_t threshold, double vdd, double volts_per_count);
+
+}  // namespace asmcap

@@ -1,0 +1,35 @@
+#include "circuit/timing.h"
+
+namespace asmcap {
+
+SearchTimingBreakdown TimingModel::asmcap_search() const {
+  const auto& charge = process_.charge;
+  SearchTimingBreakdown out;
+  out.precharge = 0.0;  // no pre-charge: top plates sit at the divider value
+  out.drive = charge.t_sl_drive;
+  out.evaluate = charge.t_settle;
+  out.sense = charge.t_sense;
+  out.total = out.precharge + out.drive + out.evaluate + out.sense;
+  return out;
+}
+
+SearchTimingBreakdown TimingModel::edam_search() const {
+  const auto& current = process_.current;
+  SearchTimingBreakdown out;
+  out.precharge = current.t_precharge;
+  out.drive = 0.0;  // folded into the pre-charge phase
+  out.evaluate = current.t_discharge;
+  out.sense = current.t_sample;
+  out.total = out.precharge + out.drive + out.evaluate + out.sense;
+  return out;
+}
+
+double TimingModel::asmcap_query_latency(std::size_t searches) const {
+  return static_cast<double>(searches) * asmcap_search().total;
+}
+
+double TimingModel::edam_query_latency(std::size_t searches) const {
+  return static_cast<double>(searches) * edam_search().total;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,36 @@
+#pragma once
+// Search-latency model (paper Table I). ASMCap skips EDAM's pre-charge and
+// sample-and-hold phases because the charge-domain matchline settles at a
+// stable voltage: 0.9 ns vs 2.4 ns per search.
+
+#include <cstddef>
+
+#include "circuit/process.h"
+
+namespace asmcap {
+
+struct SearchTimingBreakdown {
+  double precharge = 0.0;  ///< [s] (zero for the charge domain)
+  double drive = 0.0;      ///< search-line drive [s]
+  double evaluate = 0.0;   ///< settle (charge) or discharge window (current) [s]
+  double sense = 0.0;      ///< SA decision (+ sample for current domain) [s]
+  double total = 0.0;      ///< [s]
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(const ProcessParams& process) : process_(process) {}
+
+  SearchTimingBreakdown asmcap_search() const;
+  SearchTimingBreakdown edam_search() const;
+
+  /// Latency of one logical read query that issues `searches` array search
+  /// operations back-to-back (e.g. 1 + HDAC + TASR rotations).
+  double asmcap_query_latency(std::size_t searches) const;
+  double edam_query_latency(std::size_t searches) const;
+
+ private:
+  ProcessParams process_;
+};
+
+}  // namespace asmcap

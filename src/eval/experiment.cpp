@@ -1,0 +1,230 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "asmcap/hdac.h"
+#include "asmcap/tasr.h"
+#include "circuit/area.h"
+#include "circuit/montecarlo.h"
+#include "circuit/power.h"
+#include "circuit/timing.h"
+#include "util/table.h"
+
+namespace asmcap {
+
+double Fig7Series::mean(double Fig7Point::* field) const {
+  if (points.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Fig7Point& point : points) sum += point.*field;
+  return sum / static_cast<double>(points.size());
+}
+
+Fig7Series Fig7Runner::run(const Dataset& dataset,
+                           const std::vector<std::size_t>& thresholds,
+                           Rng& rng) const {
+  if (thresholds.empty())
+    throw std::invalid_argument("Fig7Runner: no thresholds");
+  const std::size_t ed_cap =
+      *std::max_element(thresholds.begin(), thresholds.end());
+
+  DatasetSignals signals(dataset, config_.asmcap, config_.edam, ed_cap, rng);
+  const auto& asmcap_ro = signals.asmcap_readout();
+  const auto& edam_ro = signals.edam_readout();
+  const Hdac hdac(config_.asmcap.hdac);
+  const Tasr tasr(config_.asmcap.tasr);
+  const bool ideal = config_.asmcap.ideal_sensing;
+  const std::size_t read_length = config_.asmcap.array_cols;
+
+  // Kraken-like predictions are threshold-independent: compute once.
+  KrakenLikeClassifier kraken(config_.kraken);
+  kraken.index_rows(dataset.rows);
+  std::vector<std::vector<bool>> kraken_pred;
+  kraken_pred.reserve(signals.queries());
+  for (const DatasetQuery& query : dataset.queries)
+    kraken_pred.push_back(kraken.decide_rows(query.read));
+
+  Fig7Series series;
+  series.condition = dataset.name;
+
+  for (const std::size_t threshold : thresholds) {
+    Fig7Point point;
+    point.threshold = threshold;
+    ConfusionMatrix cm_edam, cm_base, cm_hdac, cm_tasr, cm_full, cm_kraken;
+
+    const double p = hdac.probability(dataset.rates, threshold);
+    const bool hd_pass = hdac.enabled(dataset.rates, threshold);
+    const bool rotate = tasr.should_rotate(threshold, dataset.rates,
+                                           read_length);
+
+    Rng noise = rng.fork(threshold + 1);
+    for (std::size_t q = 0; q < signals.queries(); ++q) {
+      for (std::size_t r = 0; r < signals.rows(); ++r) {
+        const PairSignals& pair = signals.pair(q, r);
+        const bool actual = pair.ed <= threshold;
+
+        // --- EDAM: current-domain sensing, plain ED* (optional SR). ---
+        bool edam_match =
+            ideal ? pair.ed_star <= threshold
+                  : edam_ro.decide_from_drop(r, pair.edam_drop, threshold,
+                                             noise);
+        if (config_.edam_sr_enabled) {
+          for (std::size_t k = 0; k < pair.rot_ed_star.size(); ++k) {
+            if (edam_match) break;
+            edam_match =
+                ideal ? pair.rot_ed_star[k] <= threshold
+                      : edam_ro.decide_from_drop(r, pair.rot_edam_drop[k],
+                                                 threshold, noise);
+          }
+        }
+        cm_edam.add(edam_match, actual);
+
+        // --- ASMCap baseline: charge-domain sensing, plain ED*. ---
+        const bool base_match =
+            ideal ? pair.ed_star <= threshold
+                  : asmcap_ro.decide(pair.vml_ed_star, threshold, noise);
+        cm_base.add(base_match, actual);
+
+        // --- TASR arm: rotations only when T >= T_l. ---
+        bool tasr_match = base_match;
+        if (rotate) {
+          for (std::size_t k = 0; k < pair.rot_ed_star.size(); ++k) {
+            if (tasr_match) break;
+            tasr_match = ideal
+                             ? pair.rot_ed_star[k] <= threshold
+                             : asmcap_ro.decide(pair.rot_vml[k], threshold,
+                                                noise);
+          }
+        }
+        cm_tasr.add(tasr_match, actual);
+
+        // --- HDAC arm: HD search + probabilistic selection. ---
+        bool hd_match = false;
+        if (hd_pass) {
+          hd_match = ideal ? pair.hd <= threshold
+                           : asmcap_ro.decide(pair.vml_hd, threshold, noise);
+        }
+        const bool hdac_match =
+            hd_pass ? hdac.combine(hd_match, base_match, p, noise)
+                    : base_match;
+        cm_hdac.add(hdac_match, actual);
+
+        // --- Full: TASR-corrected ED* result, then HDAC selection. ---
+        const bool full_match =
+            hd_pass ? hdac.combine(hd_match, tasr_match, p, noise)
+                    : tasr_match;
+        cm_full.add(full_match, actual);
+
+        cm_kraken.add(kraken_pred[q][r], actual);
+      }
+    }
+
+    point.edam = cm_edam.f1();
+    point.asmcap_base = cm_base.f1();
+    point.asmcap_hdac = cm_hdac.f1();
+    point.asmcap_tasr = cm_tasr.f1();
+    point.asmcap_full = cm_full.f1();
+    point.kraken = cm_kraken.f1();
+    point.cm_edam = cm_edam;
+    point.cm_base = cm_base;
+    point.cm_full = cm_full;
+    series.points.push_back(point);
+  }
+  return series;
+}
+
+std::vector<Table1Row> run_table1(const ProcessParams& process) {
+  const AreaModel area(process.area);
+  const TimingModel timing(process);
+  const PowerModel power(process);
+  constexpr std::size_t kRows = 256;
+  constexpr std::size_t kCols = 256;
+  const double n_mis = PowerModel::paper_avg_n_mis(kCols);
+
+  const double edam_area = area.edam_cell_area();
+  const double asmcap_area = area.asmcap_cell_area();
+  const double edam_time = timing.edam_search().total;
+  const double asmcap_time = timing.asmcap_search().total;
+  const double edam_power =
+      power.edam_array_power(kRows, kCols, n_mis).per_cell;
+  const double asmcap_power =
+      power.asmcap_array_power(kRows, kCols, n_mis).per_cell;
+
+  // Areas are printed in um^2 explicitly: SI prefixes are linear and do not
+  // compose with squared units.
+  const auto um2 = [](double square_metres) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fum^2", square_metres * 1e12);
+    return std::string(buf);
+  };
+  std::vector<Table1Row> rows;
+  rows.push_back({"Cell area", um2(edam_area), um2(asmcap_area),
+                  edam_area / asmcap_area});
+  rows.push_back({"Search time", format_si(edam_time, "s"),
+                  format_si(asmcap_time, "s"), edam_time / asmcap_time});
+  rows.push_back({"Avg power per cell", format_si(edam_power, "W"),
+                  format_si(asmcap_power, "W"), edam_power / asmcap_power});
+  return rows;
+}
+
+BreakdownResult run_breakdown(const ProcessParams& process, std::size_t rows,
+                              std::size_t cols) {
+  const AreaModel area(process.area);
+  const PowerModel power(process);
+  const auto area_breakdown = area.asmcap_array(rows, cols);
+  const auto power_breakdown =
+      power.asmcap_array_power(rows, cols, PowerModel::paper_avg_n_mis(cols));
+  BreakdownResult out;
+  out.area_total = area_breakdown.total;
+  out.area_cells_fraction = area_breakdown.cells_fraction;
+  out.power_total = power_breakdown.total;
+  out.power_cells_fraction = power_breakdown.cells / power_breakdown.total;
+  out.power_sr_fraction =
+      power_breakdown.shift_registers / power_breakdown.total;
+  out.power_sa_fraction = power_breakdown.sense_amps / power_breakdown.total;
+  return out;
+}
+
+StatesResult run_states(const ProcessParams& process) {
+  StatesResult out;
+  out.edam_states = current_domain_max_states(process.current);
+  out.asmcap_states = charge_domain_max_states(process.charge);
+  return out;
+}
+
+std::vector<ReadLengthPoint> run_readlength(const ReadLengthConfig& config,
+                                            const ProcessParams& process,
+                                            Rng& rng) {
+  std::vector<ReadLengthPoint> points;
+  for (const std::size_t length : config.lengths) {
+    DatasetConfig dataset_config;
+    dataset_config.segment_length = length;
+    dataset_config.rows = config.rows;
+    dataset_config.reads = config.reads;
+    dataset_config.rates = config.rates;
+    dataset_config.name = "m=" + std::to_string(length);
+    Rng dataset_rng = rng.fork(length);
+    const Dataset dataset = build_dataset(dataset_config, dataset_rng);
+
+    Fig7Config fig7;
+    fig7.asmcap.process = process;
+    fig7.asmcap.array_rows = config.rows;
+    fig7.asmcap.array_cols = length;
+    fig7.edam = process.current;
+
+    ReadLengthPoint point;
+    point.read_length = length;
+    point.threshold = static_cast<std::size_t>(std::max(
+        1.0, config.threshold_fraction * static_cast<double>(length)));
+    Rng run_rng = rng.fork(length + 1);
+    const Fig7Series series =
+        Fig7Runner(fig7).run(dataset, {point.threshold}, run_rng);
+    point.edam_f1 = series.points.front().edam;
+    point.asmcap_f1 = series.points.front().asmcap_base;
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,126 @@
+#pragma once
+// Experiment runners for every paper table/figure. The benchmark binaries
+// and the integration tests both call these, so the numbers in
+// EXPERIMENTS.md come from exactly the code under test.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "asmcap/config.h"
+#include "asmcap/edam.h"
+#include "baseline/kraken_like.h"
+#include "eval/metrics.h"
+#include "eval/sweep.h"
+#include "genome/dataset.h"
+#include "perf/system_model.h"
+
+namespace asmcap {
+
+// ---------------------------------------------------------------- Fig. 7 --
+
+/// F1 of every contender at one threshold.
+struct Fig7Point {
+  std::size_t threshold = 0;
+  double edam = 0.0;
+  double asmcap_base = 0.0;   ///< w/o HDAC & TASR
+  double asmcap_hdac = 0.0;   ///< + HDAC only
+  double asmcap_tasr = 0.0;   ///< + TASR only
+  double asmcap_full = 0.0;   ///< w/ HDAC & TASR
+  double kraken = 0.0;        ///< normalisation baseline
+  /// Detailed confusion matrices (diagnostics / tests).
+  ConfusionMatrix cm_edam, cm_base, cm_full;
+};
+
+struct Fig7Series {
+  std::string condition;
+  std::vector<Fig7Point> points;
+
+  double mean(double Fig7Point::* field) const;
+};
+
+struct Fig7Config {
+  AsmcapConfig asmcap;
+  CurrentDomainParams edam;
+  KrakenLikeConfig kraken;
+  bool edam_sr_enabled = false;  ///< EDAM's own rotation strategy.
+};
+
+class Fig7Runner {
+ public:
+  explicit Fig7Runner(Fig7Config config = {}) : config_(config) {}
+
+  /// Runs the sweep on a dataset; `thresholds` must be sorted ascending.
+  Fig7Series run(const Dataset& dataset,
+                 const std::vector<std::size_t>& thresholds, Rng& rng) const;
+
+  const Fig7Config& config() const { return config_; }
+
+ private:
+  Fig7Config config_;
+};
+
+// ---------------------------------------------------------------- Table I --
+
+struct Table1Row {
+  std::string quantity;
+  std::string edam;
+  std::string asmcap;
+  double ratio = 0.0;  ///< EDAM / ASMCap.
+};
+
+std::vector<Table1Row> run_table1(const ProcessParams& process);
+
+// ------------------------------------------------------------------ §V-B --
+
+struct BreakdownResult {
+  double area_total = 0.0;         ///< [m^2]
+  double area_cells_fraction = 0;  ///< > 0.99
+  double power_total = 0.0;        ///< [W]
+  double power_cells_fraction = 0.0;
+  double power_sr_fraction = 0.0;
+  double power_sa_fraction = 0.0;
+};
+
+BreakdownResult run_breakdown(const ProcessParams& process, std::size_t rows,
+                              std::size_t cols);
+
+// ------------------------------------------------------------------ §V-D --
+
+struct StatesResult {
+  std::size_t edam_states = 0;    ///< analytic, paper: 44
+  std::size_t asmcap_states = 0;  ///< analytic, paper: 566
+};
+
+StatesResult run_states(const ProcessParams& process);
+
+// ------------------------------------------- read-length scaling (§II-C) --
+
+/// The paper argues EDAM's timing-dependent current sensing "limits the
+/// read length" while ASMCap's 566 distinguishable states support much
+/// longer rows. This experiment quantifies it: F1 of both accelerators
+/// (no correction strategies) as the row width grows, at a
+/// length-proportional threshold.
+struct ReadLengthPoint {
+  std::size_t read_length = 0;
+  std::size_t threshold = 0;
+  double edam_f1 = 0.0;
+  double asmcap_f1 = 0.0;
+};
+
+struct ReadLengthConfig {
+  std::vector<std::size_t> lengths{64, 128, 256, 512, 1024};
+  std::size_t rows = 96;
+  std::size_t reads = 192;
+  /// Threshold as a fraction of the read length: slightly above the
+  /// Condition-A expected edit load (~1.1 %/base), so positive decisions
+  /// sit near the boundary where sensing resolution matters.
+  double threshold_fraction = 0.015;
+  ErrorRates rates = ErrorRates::condition_a();
+};
+
+std::vector<ReadLengthPoint> run_readlength(const ReadLengthConfig& config,
+                                            const ProcessParams& process,
+                                            Rng& rng);
+
+}  // namespace asmcap

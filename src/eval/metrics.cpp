@@ -1,0 +1,61 @@
+#include "eval/metrics.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+void ConfusionMatrix::add(bool predicted, bool actual) {
+  if (predicted && actual)
+    ++tp;
+  else if (predicted && !actual)
+    ++fp;
+  else if (!predicted && actual)
+    ++fn;
+  else
+    ++tn;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+}
+
+double ConfusionMatrix::sensitivity() const {
+  const std::size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::precision() const {
+  const std::size_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const {
+  const double s = sensitivity();
+  const double p = precision();
+  return (s + p) == 0.0 ? 0.0 : 2.0 * s * p / (s + p);
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t denom = total();
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp + tn) / static_cast<double>(denom);
+}
+
+ConfusionMatrix confusion_from(const std::vector<bool>& predicted,
+                               const std::vector<bool>& actual) {
+  if (predicted.size() != actual.size())
+    throw std::invalid_argument("confusion_from: size mismatch");
+  ConfusionMatrix matrix;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    matrix.add(predicted[i], actual[i]);
+  return matrix;
+}
+
+double normalized_f1(double f1, double baseline_f1) {
+  return baseline_f1 <= 0.0 ? 0.0 : f1 / baseline_f1;
+}
+
+}  // namespace asmcap

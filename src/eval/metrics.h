@@ -1,0 +1,37 @@
+#pragma once
+// Accuracy metrics (paper Eq. 3/4): sensitivity, precision, and F1 over
+// (read, row) classification pairs, plus the Kraken2-normalised form.
+
+#include <cstddef>
+#include <vector>
+
+namespace asmcap {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  void add(bool predicted, bool actual);
+  void merge(const ConfusionMatrix& other);
+  std::size_t total() const { return tp + fp + tn + fn; }
+
+  /// TP / (TP + FN); 0 when undefined.
+  double sensitivity() const;
+  /// TP / (TP + FP); 0 when undefined.
+  double precision() const;
+  /// Harmonic mean of sensitivity and precision; 0 when undefined.
+  double f1() const;
+  double accuracy() const;
+};
+
+/// Builds a confusion matrix from parallel prediction/truth vectors.
+ConfusionMatrix confusion_from(const std::vector<bool>& predicted,
+                               const std::vector<bool>& actual);
+
+/// F1 of `score` normalised by a baseline F1 (the Fig. 7 right-hand
+/// panels divide by F1(Kraken2)). Returns 0 when the baseline is 0.
+double normalized_f1(double f1, double baseline_f1);
+
+}  // namespace asmcap

@@ -1,0 +1,81 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+namespace asmcap {
+
+Table fig7_table(const Fig7Series& series) {
+  Table table({"T", "EDAM F1(%)", "ASMCap w/o H&T F1(%)", "+HDAC F1(%)",
+               "+TASR F1(%)", "ASMCap w/ H&T F1(%)", "Kraken2-like F1(%)"});
+  for (const Fig7Point& point : series.points) {
+    table.new_row()
+        .add_cell(point.threshold)
+        .add_cell(100.0 * point.edam, 4)
+        .add_cell(100.0 * point.asmcap_base, 4)
+        .add_cell(100.0 * point.asmcap_hdac, 4)
+        .add_cell(100.0 * point.asmcap_tasr, 4)
+        .add_cell(100.0 * point.asmcap_full, 4)
+        .add_cell(100.0 * point.kraken, 4);
+  }
+  return table;
+}
+
+Table fig7_normalized_table(const Fig7Series& series) {
+  Table table({"T", "EDAM", "ASMCap w/o H&T", "ASMCap w/ H&T"});
+  for (const Fig7Point& point : series.points) {
+    table.new_row()
+        .add_cell(point.threshold)
+        .add_cell(normalized_f1(point.edam, point.kraken), 4)
+        .add_cell(normalized_f1(point.asmcap_base, point.kraken), 4)
+        .add_cell(normalized_f1(point.asmcap_full, point.kraken), 4);
+  }
+  return table;
+}
+
+Table table1_table(const std::vector<Table1Row>& rows) {
+  Table table({"Quantity", "EDAM", "ASMCap", "EDAM/ASMCap"});
+  for (const Table1Row& row : rows) {
+    table.new_row()
+        .add_cell(row.quantity)
+        .add_cell(row.edam)
+        .add_cell(row.asmcap)
+        .add_cell(format_ratio(row.ratio));
+  }
+  return table;
+}
+
+Table breakdown_table(const BreakdownResult& breakdown) {
+  Table table({"Quantity", "Value"});
+  // Areas in mm^2 explicitly (SI prefixes don't compose with squared units).
+  char area_mm2[32];
+  std::snprintf(area_mm2, sizeof area_mm2, "%.2fmm^2",
+                breakdown.area_total * 1e6);
+  table.new_row().add_cell("Array area").add_cell(std::string(area_mm2));
+  table.new_row().add_cell("Area: cells fraction").add_cell(
+      breakdown.area_cells_fraction, 4);
+  table.new_row().add_cell("Array power").add_cell(
+      format_si(breakdown.power_total, "W"));
+  table.new_row().add_cell("Power: cells fraction").add_cell(
+      breakdown.power_cells_fraction, 3);
+  table.new_row().add_cell("Power: shift-register fraction").add_cell(
+      breakdown.power_sr_fraction, 3);
+  table.new_row().add_cell("Power: sense-amp fraction").add_cell(
+      breakdown.power_sa_fraction, 3);
+  return table;
+}
+
+Table states_table(const StatesResult& states) {
+  Table table({"Scheme", "Distinguishable states (3-sigma)"});
+  table.new_row().add_cell("EDAM (current domain, 2.5% sigma_I)").add_cell(
+      states.edam_states);
+  table.new_row().add_cell("ASMCap (charge domain, 1.4% sigma_C)").add_cell(
+      states.asmcap_states);
+  return table;
+}
+
+void print_report(std::ostream& os, const std::string& title,
+                  const Table& table) {
+  os << "== " << title << " ==\n" << table.to_text() << "\n";
+}
+
+}  // namespace asmcap

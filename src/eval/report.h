@@ -1,0 +1,31 @@
+#pragma once
+// Report printers: render the experiment results as the paper's tables and
+// figure series (plain text + CSV).
+
+#include <ostream>
+
+#include "eval/experiment.h"
+#include "util/table.h"
+
+namespace asmcap {
+
+/// Fig. 7 as a table: one row per threshold, absolute F1 columns.
+Table fig7_table(const Fig7Series& series);
+
+/// Fig. 7 normalised panels: F1 / F1(Kraken2).
+Table fig7_normalized_table(const Fig7Series& series);
+
+/// Table I.
+Table table1_table(const std::vector<Table1Row>& rows);
+
+/// §V-B breakdown.
+Table breakdown_table(const BreakdownResult& breakdown);
+
+/// §V-D distinguishable states.
+Table states_table(const StatesResult& states);
+
+/// Convenience: print any table with a heading.
+void print_report(std::ostream& os, const std::string& title,
+                  const Table& table);
+
+}  // namespace asmcap

@@ -1,0 +1,82 @@
+#include "eval/sweep.h"
+
+#include <stdexcept>
+
+#include "align/edit_distance.h"
+#include "align/edstar.h"
+#include "align/hamming.h"
+
+namespace asmcap {
+
+DatasetSignals::DatasetSignals(const Dataset& dataset,
+                               const AsmcapConfig& config,
+                               const CurrentDomainParams& edam_params,
+                               std::size_t ed_cap, Rng& rng)
+    : dataset_(&dataset),
+      queries_(dataset.queries.size()),
+      rows_(dataset.rows.size()),
+      ed_cap_(ed_cap),
+      rotations_(config.tasr.rotations) {
+  if (queries_ == 0 || rows_ == 0)
+    throw std::invalid_argument("DatasetSignals: empty dataset");
+  const std::size_t cols = dataset.rows.front().size();
+
+  // Manufacture the silicon both accelerators would use for these rows.
+  Rng asmcap_silicon = rng.fork(0xA51C);
+  Rng edam_silicon = rng.fork(0xEDA2);
+  asmcap_readout_ = std::make_unique<ChargeArrayReadout>(
+      rows_, cols, config.process.charge, asmcap_silicon);
+  edam_readout_ = std::make_unique<CurrentArrayReadout>(
+      rows_, cols, edam_params, edam_silicon);
+
+  pairs_.resize(queries_ * rows_);
+  for (std::size_t q = 0; q < queries_; ++q) {
+    const Sequence& read = dataset.queries[q].read;
+    // The rotation schedule is shared by all rows of a query.
+    const auto rotations =
+        rotation_schedule(read, config.tasr.rotations, config.tasr.direction);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const Sequence& row = dataset.rows[r];
+      PairSignals& signals = pairs_[q * rows_ + r];
+
+      signals.ed = static_cast<std::uint16_t>(
+          banded_edit_distance(row, read, ed_cap_).distance);
+
+      const BitVec hd_mask = hamming_mismatch_mask(row, read);
+      signals.hd = static_cast<std::uint16_t>(hd_mask.popcount());
+      signals.vml_hd = asmcap_readout_->settle_row(r, hd_mask);
+
+      const BitVec star_mask = ed_star_mismatch_mask(row, read);
+      signals.ed_star = static_cast<std::uint16_t>(star_mask.popcount());
+      signals.vml_ed_star = asmcap_readout_->settle_row(r, star_mask);
+      signals.edam_drop = edam_readout_->drop_row(r, star_mask);
+
+      signals.rot_ed_star.reserve(rotations.size() - 1);
+      signals.rot_vml.reserve(rotations.size() - 1);
+      signals.rot_edam_drop.reserve(rotations.size() - 1);
+      for (std::size_t k = 1; k < rotations.size(); ++k) {
+        const BitVec rot_mask = ed_star_mismatch_mask(row, rotations[k]);
+        signals.rot_ed_star.push_back(
+            static_cast<std::uint16_t>(rot_mask.popcount()));
+        signals.rot_vml.push_back(asmcap_readout_->settle_row(r, rot_mask));
+        signals.rot_edam_drop.push_back(edam_readout_->drop_row(r, rot_mask));
+      }
+    }
+  }
+}
+
+const PairSignals& DatasetSignals::pair(std::size_t query,
+                                        std::size_t row) const {
+  if (query >= queries_ || row >= rows_)
+    throw std::out_of_range("DatasetSignals::pair");
+  return pairs_[query * rows_ + row];
+}
+
+bool DatasetSignals::truth(std::size_t query, std::size_t row,
+                           std::size_t threshold) const {
+  if (threshold > ed_cap_)
+    throw std::invalid_argument("DatasetSignals::truth: threshold above cap");
+  return pair(query, row).ed <= threshold;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,40 @@
+#pragma once
+// DNA base alphabet: 2-bit encoding, ASCII conversion, complementing.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asmcap {
+
+/// The four DNA bases in their canonical 2-bit encoding.
+enum class Base : std::uint8_t { A = 0, C = 1, G = 2, T = 3 };
+
+inline constexpr int kBaseCount = 4;
+
+/// 2-bit code of a base.
+constexpr std::uint8_t code_of(Base b) { return static_cast<std::uint8_t>(b); }
+
+/// Base from a 2-bit code (masked to 2 bits, never throws).
+constexpr Base base_from_code(std::uint8_t code) {
+  return static_cast<Base>(code & 0x3u);
+}
+
+/// ASCII character of a base ('A','C','G','T').
+char to_char(Base b);
+
+/// Parses an ASCII base (case-insensitive). Returns nullopt for anything
+/// outside {A,C,G,T}; ambiguity codes like 'N' are not representable in the
+/// 2-bit alphabet and must be resolved by the caller.
+std::optional<Base> base_from_char(char c);
+
+/// Watson-Crick complement (A<->T, C<->G).
+constexpr Base complement(Base b) {
+  return static_cast<Base>(3u - static_cast<std::uint8_t>(b));
+}
+
+/// Human-readable alphabet, e.g. for diagnostics: "ACGT".
+std::string_view alphabet();
+
+}  // namespace asmcap

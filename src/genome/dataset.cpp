@@ -1,0 +1,82 @@
+#include "genome/dataset.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+Dataset build_dataset(const DatasetConfig& config, Rng& rng) {
+  if (config.rows == 0 || config.reads == 0 || config.segment_length == 0)
+    throw std::invalid_argument("build_dataset: empty dimensions");
+  if (config.contaminant_fraction < 0.0 || config.contaminant_fraction > 1.0)
+    throw std::invalid_argument("build_dataset: bad contaminant fraction");
+
+  Dataset dataset;
+  dataset.rates = config.rates;
+  dataset.name = config.name;
+
+  // Reference long enough for `rows` non-overlapping segments plus slack the
+  // read simulator needs for repadding after deletions.
+  const std::size_t reference_length =
+      (config.rows + 2) * config.segment_length;
+  const Sequence reference =
+      generate_reference(reference_length, config.reference_model, rng);
+  dataset.rows = segment_reference(reference, config.segment_length);
+  dataset.rows.resize(config.rows);
+
+  ReadSimConfig sim_config;
+  sim_config.read_length = config.segment_length;
+  sim_config.rates = config.rates;
+  const ReadSimulator simulator(reference, sim_config);
+
+  // Contaminant reads come from an unrelated genome (different seed stream),
+  // so they should not match any stored row.
+  const Sequence contaminant_genome = generate_reference(
+      4 * config.segment_length + 2 * config.segment_length,
+      config.reference_model, rng);
+  const ReadSimulator contaminant_simulator(contaminant_genome, sim_config);
+
+  dataset.queries.reserve(config.reads);
+  for (std::size_t i = 0; i < config.reads; ++i) {
+    DatasetQuery query;
+    if (rng.bernoulli(config.contaminant_fraction)) {
+      const SimulatedRead read = contaminant_simulator.simulate(rng);
+      query.read = read.read;
+      query.true_row = dataset.rows.size();  // sentinel: no true row
+      query.substitutions = read.substitutions;
+      query.insertions = read.insertions;
+      query.deletions = read.deletions;
+    } else {
+      // Row-aligned origin so the read's window coincides with one stored row.
+      const std::size_t row = static_cast<std::size_t>(rng.below(config.rows));
+      const SimulatedRead read =
+          simulator.simulate_at(row * config.segment_length, rng);
+      query.read = read.read;
+      query.true_row = row;
+      query.substitutions = read.substitutions;
+      query.insertions = read.insertions;
+      query.deletions = read.deletions;
+    }
+    dataset.queries.push_back(std::move(query));
+  }
+  return dataset;
+}
+
+DatasetConfig condition_a_config(std::size_t rows, std::size_t reads) {
+  DatasetConfig config;
+  config.rows = rows;
+  config.reads = reads;
+  config.rates = ErrorRates::condition_a();
+  config.name = "Condition A (es=1%, ei=ed=0.05%)";
+  return config;
+}
+
+DatasetConfig condition_b_config(std::size_t rows, std::size_t reads) {
+  DatasetConfig config;
+  config.rows = rows;
+  config.reads = reads;
+  config.rates = ErrorRates::condition_b();
+  config.name = "Condition B (es=0.1%, ei=ed=0.5%)";
+  return config;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,58 @@
+#pragma once
+// Metagenomic evaluation dataset builder. Reproduces the paper's setup:
+// a reference is segmented into CAM rows; 256-base reads are extracted from
+// row-aligned positions and passed through the edit model (Condition A or
+// B); every (read, row) pair is then a classification instance whose ground
+// truth is the exact edit distance (computed by the eval layer).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "genome/edits.h"
+#include "genome/readsim.h"
+#include "genome/reference.h"
+#include "genome/sequence.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+/// A read plus the identity of the row it was sequenced from.
+struct DatasetQuery {
+  Sequence read;
+  std::size_t true_row = 0;      ///< Index into Dataset::rows.
+  std::size_t substitutions = 0;
+  std::size_t insertions = 0;
+  std::size_t deletions = 0;
+};
+
+struct Dataset {
+  std::vector<Sequence> rows;       ///< Reference segments stored in the CAMs.
+  std::vector<DatasetQuery> queries;
+  ErrorRates rates;                 ///< The error condition used.
+  std::string name;                 ///< e.g. "Condition A".
+
+  std::size_t pair_count() const { return rows.size() * queries.size(); }
+};
+
+struct DatasetConfig {
+  std::size_t segment_length = 256;  ///< Read length == row length.
+  std::size_t rows = 256;            ///< Stored reference segments.
+  std::size_t reads = 512;           ///< Simulated reads.
+  ErrorRates rates = ErrorRates::condition_a();
+  ReferenceModel reference_model;
+  std::string name = "Condition A";
+  /// Fraction of reads drawn from sequences absent from the stored rows
+  /// (contaminant reads — these should match nothing). Models the
+  /// metagenomic mixture of the paper's datasets.
+  double contaminant_fraction = 0.1;
+};
+
+/// Builds a dataset deterministically from the seed embedded in `rng`.
+Dataset build_dataset(const DatasetConfig& config, Rng& rng);
+
+/// Convenience constructors for the paper's two conditions.
+DatasetConfig condition_a_config(std::size_t rows = 256, std::size_t reads = 512);
+DatasetConfig condition_b_config(std::size_t rows = 256, std::size_t reads = 512);
+
+}  // namespace asmcap

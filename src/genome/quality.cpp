@@ -1,0 +1,102 @@
+#include "genome/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace asmcap {
+
+double phred_to_error(char phred33) {
+  const int q = phred33 - 33;
+  if (q < 0) throw std::invalid_argument("phred_to_error: below '!'");
+  return std::pow(10.0, -q / 10.0);
+}
+
+char error_to_phred(double error_probability) {
+  if (error_probability <= 0.0) return static_cast<char>(33 + 41);  // cap Q41
+  if (error_probability >= 1.0) return '!';
+  const double q = -10.0 * std::log10(error_probability);
+  const int clamped = std::clamp(static_cast<int>(q + 0.5), 0, 41);
+  return static_cast<char>(33 + clamped);
+}
+
+double QualityProfile::phred_at(double t) const {
+  t = std::clamp(t, 0.0, 1.0);
+  return q_start + (q_end - q_start) * t;
+}
+
+double QualityProfile::error_at(double t) const {
+  return std::pow(10.0, -phred_at(t) / 10.0);
+}
+
+double QualityProfile::mean_error() const {
+  // Closed form of the integral of 10^{-(a+bt)/10} over [0,1].
+  const double a = q_start;
+  const double b = q_end - q_start;
+  if (std::abs(b) < 1e-9) return std::pow(10.0, -a / 10.0);
+  const double k = std::log(10.0) / 10.0;
+  return (std::pow(10.0, -a / 10.0) - std::pow(10.0, -(a + b) / 10.0)) /
+         (k * b);
+}
+
+QualityRead simulate_quality_read(const Sequence& reference,
+                                  std::size_t origin, std::size_t length,
+                                  const QualityProfile& profile, Rng& rng) {
+  if (origin + length > reference.size())
+    throw std::out_of_range("simulate_quality_read: window out of range");
+  QualityRead out;
+  out.origin = origin;
+  out.read.reserve(length);
+  out.quality.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double t = length > 1
+                         ? static_cast<double>(i) /
+                               static_cast<double>(length - 1)
+                         : 0.0;
+    const double error = profile.error_at(t);
+    Base base = reference[origin + i];
+    if (rng.bernoulli(error)) {
+      const auto offset = static_cast<std::uint8_t>(rng.below(3)) + 1;
+      base = base_from_code(
+          static_cast<std::uint8_t>((code_of(base) + offset) & 0x3u));
+      ++out.substitutions;
+    }
+    out.read.push_back(base);
+    out.quality.push_back(error_to_phred(error));
+  }
+  return out;
+}
+
+std::vector<FastqRecord> to_fastq(const std::vector<QualityRead>& reads,
+                                  const std::string& id_prefix) {
+  std::vector<FastqRecord> records;
+  records.reserve(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    FastqRecord record;
+    record.id = id_prefix + std::to_string(i) + "_pos" +
+                std::to_string(reads[i].origin);
+    record.seq = reads[i].read;
+    record.quality = reads[i].quality;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+double empirical_substitution_rate(const std::vector<QualityRead>& reads,
+                                   const Sequence& reference,
+                                   std::size_t length) {
+  if (reads.empty() || length == 0) return 0.0;
+  std::size_t mismatches = 0;
+  std::size_t bases = 0;
+  for (const QualityRead& read : reads) {
+    for (std::size_t i = 0; i < length && i < read.read.size(); ++i) {
+      mismatches += read.read[i] != reference[read.origin + i] ? 1u : 0u;
+      ++bases;
+    }
+  }
+  return bases == 0 ? 0.0
+                    : static_cast<double>(mismatches) /
+                          static_cast<double>(bases);
+}
+
+}  // namespace asmcap

@@ -1,0 +1,61 @@
+#pragma once
+// Quality-aware sequencing model: Phred quality strings and a read
+// simulator whose per-base substitution probability follows a quality
+// profile (errors cluster at read tails, as on real Illumina machines).
+// Bridges the FASTQ I/O to the edit-injection model so real quality
+// distributions can drive the accuracy experiments.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genome/fasta.h"
+#include "genome/sequence.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+/// Phred+33 conversions.
+double phred_to_error(char phred33);
+char error_to_phred(double error_probability);
+
+/// Read-tail degradation profile: quality starts at `q_start` and decays
+/// linearly to `q_end` across the read (typical short-read behaviour).
+struct QualityProfile {
+  double q_start = 38.0;  ///< Phred score at base 0.
+  double q_end = 22.0;    ///< Phred score at the last base.
+
+  /// Phred score at relative position t in [0, 1].
+  double phred_at(double t) const;
+  /// Substitution probability at relative position t.
+  double error_at(double t) const;
+  /// Average substitution probability across the read.
+  double mean_error() const;
+};
+
+/// A simulated read with its quality string.
+struct QualityRead {
+  Sequence read;
+  std::string quality;     ///< Phred+33, same length as read.
+  std::size_t origin = 0;  ///< Reference offset.
+  std::size_t substitutions = 0;
+};
+
+/// Extracts a window at `origin` and injects quality-driven substitutions
+/// (indels are left to the bulk ErrorRates model; quality strings only
+/// describe miscalls).
+QualityRead simulate_quality_read(const Sequence& reference,
+                                  std::size_t origin, std::size_t length,
+                                  const QualityProfile& profile, Rng& rng);
+
+/// Converts a batch of quality reads to FASTQ records.
+std::vector<FastqRecord> to_fastq(const std::vector<QualityRead>& reads,
+                                  const std::string& id_prefix = "read");
+
+/// Estimates the empirical substitution rate of a batch against the
+/// reference (used to pre-process HDAC's p from real data).
+double empirical_substitution_rate(const std::vector<QualityRead>& reads,
+                                   const Sequence& reference,
+                                   std::size_t length);
+
+}  // namespace asmcap

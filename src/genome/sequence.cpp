@@ -1,0 +1,129 @@
+#include "genome/sequence.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+Sequence::Sequence(std::size_t n) : data_((n + 3) / 4, 0), size_(n) {}
+
+Sequence::Sequence(std::initializer_list<Base> bases) {
+  reserve(bases.size());
+  for (Base b : bases) push_back(b);
+}
+
+Sequence Sequence::from_string(std::string_view text) {
+  Sequence seq;
+  seq.reserve(text.size());
+  for (char c : text) {
+    const auto base = base_from_char(c);
+    if (!base)
+      throw std::invalid_argument(std::string("Sequence: invalid base '") + c +
+                                  "'");
+    seq.push_back(*base);
+  }
+  return seq;
+}
+
+Sequence Sequence::random(std::size_t n, Rng& rng) {
+  Sequence seq;
+  seq.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    seq.push_back(base_from_code(static_cast<std::uint8_t>(rng.below(4))));
+  return seq;
+}
+
+Base Sequence::at(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("Sequence::at");
+  return get_unchecked(i);
+}
+
+void Sequence::set(std::size_t i, Base b) {
+  if (i >= size_) throw std::out_of_range("Sequence::set");
+  const std::size_t shift = (i & 3u) * 2;
+  std::uint8_t& byte = data_[i >> 2];
+  byte = static_cast<std::uint8_t>((byte & ~(0x3u << shift)) |
+                                   (code_of(b) << shift));
+}
+
+void Sequence::push_back(Base b) {
+  if ((size_ & 3u) == 0) data_.push_back(0);
+  ++size_;
+  set(size_ - 1, b);
+}
+
+void Sequence::clear() {
+  data_.clear();
+  size_ = 0;
+}
+
+Sequence Sequence::subseq(std::size_t pos, std::size_t len) const {
+  if (pos + len > size_) throw std::out_of_range("Sequence::subseq");
+  Sequence out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) out.push_back(get_unchecked(pos + i));
+  return out;
+}
+
+void Sequence::insert(std::size_t pos, Base b) {
+  if (pos > size_) throw std::out_of_range("Sequence::insert");
+  push_back(Base::A);  // grow by one
+  for (std::size_t i = size_ - 1; i > pos; --i) set(i, get_unchecked(i - 1));
+  set(pos, b);
+}
+
+void Sequence::erase(std::size_t pos) {
+  if (pos >= size_) throw std::out_of_range("Sequence::erase");
+  for (std::size_t i = pos; i + 1 < size_; ++i) set(i, get_unchecked(i + 1));
+  --size_;
+  if ((size_ & 3u) == 0 && !data_.empty() && size_ / 4 < data_.size())
+    data_.pop_back();
+}
+
+Sequence Sequence::rotated_left(std::size_t k) const {
+  if (size_ == 0) return {};
+  k %= size_;
+  Sequence out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(get_unchecked((i + k) % size_));
+  return out;
+}
+
+Sequence Sequence::rotated_right(std::size_t k) const {
+  if (size_ == 0) return {};
+  k %= size_;
+  return rotated_left(size_ - k);
+}
+
+Sequence Sequence::reverse_complement() const {
+  Sequence out;
+  out.reserve(size_);
+  for (std::size_t i = size_; i-- > 0;)
+    out.push_back(complement(get_unchecked(i)));
+  return out;
+}
+
+std::string Sequence::to_string() const {
+  std::string text;
+  text.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) text += to_char(get_unchecked(i));
+  return text;
+}
+
+bool Sequence::operator==(const Sequence& other) const {
+  if (size_ != other.size_) return false;
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get_unchecked(i) != other.get_unchecked(i)) return false;
+  return true;
+}
+
+std::size_t Sequence::mismatch_count(const Sequence& other) const {
+  if (size_ != other.size_)
+    throw std::invalid_argument("Sequence::mismatch_count: length mismatch");
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < size_; ++i)
+    count += get_unchecked(i) != other.get_unchecked(i) ? 1u : 0u;
+  return count;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,81 @@
+#pragma once
+// 2-bit packed DNA sequence. This is the common currency between the genome
+// substrate, the alignment algorithms, and the CAM functional model.
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "genome/base.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+/// Immutable-size-friendly packed DNA string (4 bases per byte). Mutation is
+/// supported in place (set/push_back); all index access is bounds-checked in
+/// the at() form and unchecked in operator[].
+class Sequence {
+ public:
+  Sequence() = default;
+  /// Length-n sequence initialised to 'A'.
+  explicit Sequence(std::size_t n);
+  Sequence(std::initializer_list<Base> bases);
+
+  /// Parses "ACGT..." (case-insensitive). Throws std::invalid_argument on
+  /// characters outside the alphabet.
+  static Sequence from_string(std::string_view text);
+
+  /// Uniform random sequence of length n.
+  static Sequence random(std::size_t n, Rng& rng);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Base operator[](std::size_t i) const { return get_unchecked(i); }
+  Base at(std::size_t i) const;
+  void set(std::size_t i, Base b);
+
+  void push_back(Base b);
+  void clear();
+  void reserve(std::size_t n) { data_.reserve((n + 3) / 4); }
+
+  /// Copy of the subsequence [pos, pos+len). Throws if out of range.
+  Sequence subseq(std::size_t pos, std::size_t len) const;
+
+  /// Inserts a base before position pos (pos == size() appends).
+  void insert(std::size_t pos, Base b);
+
+  /// Removes the base at position pos.
+  void erase(std::size_t pos);
+
+  /// Left-rotated copy: rotate_left(1) moves the first base to the end.
+  Sequence rotated_left(std::size_t k) const;
+  /// Right-rotated copy: rotate_right(1) moves the last base to the front.
+  Sequence rotated_right(std::size_t k) const;
+
+  /// Reverse complement (the opposite strand read 5'->3').
+  Sequence reverse_complement() const;
+
+  std::string to_string() const;
+
+  bool operator==(const Sequence& other) const;
+
+  /// Count of positions where the co-located bases differ; both sequences
+  /// must have equal length (convenience used by tests; the align library
+  /// provides the full API).
+  std::size_t mismatch_count(const Sequence& other) const;
+
+ private:
+  Base get_unchecked(std::size_t i) const {
+    return base_from_code(
+        static_cast<std::uint8_t>(data_[i >> 2] >> ((i & 3u) * 2)) & 0x3u);
+  }
+
+  std::vector<std::uint8_t> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,59 @@
+#include "perf/comparison.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+std::vector<ComparisonRow> normalize_to_first(
+    const std::vector<PerfEstimate>& estimates) {
+  if (estimates.empty())
+    throw std::invalid_argument("normalize_to_first: empty input");
+  std::vector<ComparisonRow> rows;
+  rows.reserve(estimates.size());
+  const PerfEstimate& base = estimates.front();
+  for (const PerfEstimate& estimate : estimates) {
+    ComparisonRow row;
+    row.system = estimate.system;
+    row.speedup = base.seconds_per_read / estimate.seconds_per_read;
+    row.energy_efficiency = base.joules_per_read / estimate.joules_per_read;
+    row.seconds_per_read = estimate.seconds_per_read;
+    row.joules_per_read = estimate.joules_per_read;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<ComparisonRow> ratios_against(
+    const std::vector<PerfEstimate>& estimates, std::size_t subject_index) {
+  if (subject_index >= estimates.size())
+    throw std::out_of_range("ratios_against: bad subject index");
+  const PerfEstimate& subject = estimates[subject_index];
+  std::vector<ComparisonRow> rows;
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    if (i == subject_index) continue;
+    ComparisonRow row;
+    row.system = estimates[i].system;
+    row.speedup = estimates[i].seconds_per_read / subject.seconds_per_read;
+    row.energy_efficiency =
+        estimates[i].joules_per_read / subject.joules_per_read;
+    row.seconds_per_read = estimates[i].seconds_per_read;
+    row.joules_per_read = estimates[i].joules_per_read;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Table comparison_table(const std::vector<ComparisonRow>& rows) {
+  Table table({"System", "s/read", "J/read", "Speedup", "Energy eff."});
+  for (const ComparisonRow& row : rows) {
+    table.new_row()
+        .add_cell(row.system)
+        .add_cell(format_si(row.seconds_per_read, "s"))
+        .add_cell(format_si(row.joules_per_read, "J"))
+        .add_cell(format_ratio(row.speedup))
+        .add_cell(format_ratio(row.energy_efficiency));
+  }
+  return table;
+}
+
+}  // namespace asmcap

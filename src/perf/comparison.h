@@ -1,0 +1,31 @@
+#pragma once
+// Speedup / energy-efficiency comparison tables (Fig. 8 rendering).
+
+#include <vector>
+
+#include "perf/ledger.h"
+#include "util/table.h"
+
+namespace asmcap {
+
+/// Speedups and energy efficiencies of every estimate normalised to the
+/// first entry (the paper normalises to CM-CPU).
+struct ComparisonRow {
+  std::string system;
+  double speedup = 1.0;
+  double energy_efficiency = 1.0;
+  double seconds_per_read = 0.0;
+  double joules_per_read = 0.0;
+};
+
+std::vector<ComparisonRow> normalize_to_first(
+    const std::vector<PerfEstimate>& estimates);
+
+/// Pairwise ratio table: how the chosen system compares against every other
+/// (the "ASMCap achieves Nx speedup over ..." sentences).
+std::vector<ComparisonRow> ratios_against(
+    const std::vector<PerfEstimate>& estimates, std::size_t subject_index);
+
+Table comparison_table(const std::vector<ComparisonRow>& rows);
+
+}  // namespace asmcap

@@ -1,0 +1,16 @@
+#include "perf/ledger.h"
+
+#include <stdexcept>
+
+namespace asmcap {
+
+PerfRatio ratio(const PerfEstimate& lhs, const PerfEstimate& rhs) {
+  if (lhs.seconds_per_read <= 0.0 || lhs.joules_per_read <= 0.0)
+    throw std::invalid_argument("ratio: lhs estimate must be positive");
+  PerfRatio out;
+  out.speedup = rhs.seconds_per_read / lhs.seconds_per_read;
+  out.energy_efficiency = rhs.joules_per_read / lhs.joules_per_read;
+  return out;
+}
+
+}  // namespace asmcap

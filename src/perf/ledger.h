@@ -1,0 +1,33 @@
+#pragma once
+// Performance accounting primitives shared by the system model and the
+// benchmark reports.
+
+#include <cstddef>
+#include <string>
+
+namespace asmcap {
+
+/// Throughput/energy estimate of one system on one workload.
+struct PerfEstimate {
+  std::string system;
+  double seconds_per_read = 0.0;
+  double joules_per_read = 0.0;
+
+  double reads_per_second() const {
+    return seconds_per_read > 0.0 ? 1.0 / seconds_per_read : 0.0;
+  }
+  /// Energy efficiency in reads per joule (the paper's metric, relative).
+  double reads_per_joule() const {
+    return joules_per_read > 0.0 ? 1.0 / joules_per_read : 0.0;
+  }
+};
+
+/// Ratio of two estimates: how much faster / more efficient `lhs` is.
+struct PerfRatio {
+  double speedup = 0.0;
+  double energy_efficiency = 0.0;
+};
+
+PerfRatio ratio(const PerfEstimate& lhs, const PerfEstimate& rhs);
+
+}  // namespace asmcap

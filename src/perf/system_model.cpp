@@ -1,0 +1,121 @@
+#include "perf/system_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cam/interconnect.h"
+
+namespace asmcap {
+
+const char* to_string(AsmSystem system) {
+  switch (system) {
+    case AsmSystem::CmCpu: return "CM-CPU";
+    case AsmSystem::ReSMA: return "ReSMA";
+    case AsmSystem::SaVI: return "SaVI";
+    case AsmSystem::EDAM: return "EDAM";
+    case AsmSystem::AsmcapBase: return "ASMCap w/o H./T.";
+    case AsmSystem::AsmcapFull: return "ASMCap w/ H./T.";
+  }
+  return "?";
+}
+
+SystemModel::SystemModel(AsmcapConfig asmcap_config, CmCpuConfig cmcpu,
+                         ResmaConfig resma, SaviConfig savi)
+    : asmcap_(asmcap_config),
+      cmcpu_(cmcpu),
+      resma_(resma),
+      savi_(savi),
+      power_(asmcap_config.process),
+      timing_(asmcap_config.process) {}
+
+PerfEstimate SystemModel::estimate(AsmSystem system,
+                                   const PerfWorkload& workload) const {
+  PerfEstimate out;
+  out.system = to_string(system);
+  const std::size_t arrays = std::max<std::size_t>(
+      1, (workload.stored_segments + asmcap_.array_rows - 1) /
+             asmcap_.array_rows);
+  const double avg_n_mis =
+      workload.avg_n_mis_fraction * static_cast<double>(asmcap_.array_cols);
+
+  switch (system) {
+    case AsmSystem::CmCpu: {
+      const CmCpuBaseline cpu(cmcpu_);
+      out.seconds_per_read = cpu.seconds_per_read(
+          workload.read_length, workload.stored_segments, workload.threshold);
+      out.joules_per_read = cpu.joules_per_read(
+          workload.read_length, workload.stored_segments, workload.threshold);
+      break;
+    }
+    case AsmSystem::ReSMA: {
+      const ResmaBaseline resma(resma_);
+      const auto candidates =
+          static_cast<std::size_t>(std::ceil(workload.resma_candidates));
+      out.seconds_per_read =
+          resma.seconds_per_read(workload.read_length, candidates);
+      out.joules_per_read =
+          resma.joules_per_read(workload.read_length, candidates);
+      break;
+    }
+    case AsmSystem::SaVI: {
+      SaviConfig config = savi_;
+      config.database_bits =
+          2.0 * static_cast<double>(workload.stored_segments) *
+          static_cast<double>(workload.read_length);
+      const SaviBaseline savi(config);
+      out.seconds_per_read = savi.seconds_per_read(workload.read_length);
+      out.joules_per_read = savi.joules_per_read(workload.read_length);
+      break;
+    }
+    case AsmSystem::EDAM: {
+      // One ED* search over all arrays in parallel. The H-tree broadcast is
+      // pipelined with the search (it does not lengthen the issue interval)
+      // but its switching energy is paid per search.
+      const HTree tree(arrays);
+      out.seconds_per_read = timing_.edam_search().total;
+      out.joules_per_read =
+          static_cast<double>(arrays) *
+              power_.edam_search_energy(asmcap_.array_rows,
+                                        asmcap_.array_cols, avg_n_mis) +
+          tree.broadcast_energy(workload.read_length);
+      break;
+    }
+    case AsmSystem::AsmcapBase: {
+      const HTree tree(arrays);
+      out.seconds_per_read = timing_.asmcap_search().total;
+      out.joules_per_read =
+          static_cast<double>(arrays) *
+              power_.asmcap_search_energy(asmcap_.array_rows,
+                                          asmcap_.array_cols, avg_n_mis) +
+          tree.broadcast_energy(workload.read_length);
+      break;
+    }
+    case AsmSystem::AsmcapFull: {
+      const HTree tree(arrays);
+      out.seconds_per_read =
+          workload.asmcap_full_searches * timing_.asmcap_search().total;
+      out.joules_per_read =
+          workload.asmcap_full_searches *
+          (static_cast<double>(arrays) *
+               power_.asmcap_search_energy(asmcap_.array_rows,
+                                           asmcap_.array_cols, avg_n_mis) +
+           tree.broadcast_energy(workload.read_length));
+      break;
+    }
+  }
+  if (out.seconds_per_read <= 0.0)
+    throw std::logic_error("SystemModel: non-positive latency estimate");
+  return out;
+}
+
+std::vector<PerfEstimate> SystemModel::estimate_all(
+    const PerfWorkload& workload) const {
+  std::vector<PerfEstimate> estimates;
+  for (AsmSystem system :
+       {AsmSystem::CmCpu, AsmSystem::ReSMA, AsmSystem::SaVI, AsmSystem::EDAM,
+        AsmSystem::AsmcapBase, AsmSystem::AsmcapFull})
+    estimates.push_back(estimate(system, workload));
+  return estimates;
+}
+
+}  // namespace asmcap

@@ -1,0 +1,66 @@
+#pragma once
+// System-level performance model behind Fig. 8: per-read latency and energy
+// of every ASM solution on the paper's workload (256-base reads against a
+// 64 Mb stored reference, 512 ASMCap/EDAM arrays).
+
+#include <cstddef>
+#include <vector>
+
+#include "asmcap/config.h"
+#include "baseline/cmcpu.h"
+#include "baseline/resma.h"
+#include "baseline/savi.h"
+#include "circuit/power.h"
+#include "circuit/timing.h"
+#include "perf/ledger.h"
+
+namespace asmcap {
+
+/// Workload description for the performance comparison.
+struct PerfWorkload {
+  std::size_t read_length = 256;
+  std::size_t stored_segments = 512 * 256;  ///< 64 Mb worth of rows.
+  std::size_t threshold = 4;
+  /// Average ReSMA filter survivors per read (measured on the dataset or
+  /// assumed; candidates beyond the lanes serialise).
+  double resma_candidates = 4.0;
+  /// Average number of array-search operations per read for ASMCap with
+  /// strategies (1 ED* + HDAC cycle + TASR rotations, workload-averaged;
+  /// the paper's ~2x average overhead).
+  double asmcap_full_searches = 2.0;
+  /// Average mismatch count per row (drives the CAM energy models).
+  double avg_n_mis_fraction = 0.9725;
+};
+
+/// All systems compared in Fig. 8.
+enum class AsmSystem {
+  CmCpu,
+  ReSMA,
+  SaVI,
+  EDAM,
+  AsmcapBase,  ///< w/o HDAC/TASR
+  AsmcapFull,  ///< w/ HDAC/TASR
+};
+
+const char* to_string(AsmSystem system);
+
+class SystemModel {
+ public:
+  SystemModel(AsmcapConfig asmcap_config, CmCpuConfig cmcpu = {},
+              ResmaConfig resma = {}, SaviConfig savi = {});
+
+  PerfEstimate estimate(AsmSystem system, const PerfWorkload& workload) const;
+
+  /// All six systems in Fig. 8 order.
+  std::vector<PerfEstimate> estimate_all(const PerfWorkload& workload) const;
+
+ private:
+  AsmcapConfig asmcap_;
+  CmCpuConfig cmcpu_;
+  ResmaConfig resma_;
+  SaviConfig savi_;
+  PowerModel power_;
+  TimingModel timing_;
+};
+
+}  // namespace asmcap

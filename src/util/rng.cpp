@@ -1,0 +1,117 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace asmcap {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::below: n must be positive");
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::between: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint32_t Rng::poisson(double mean) {
+  if (mean < 0.0) throw std::invalid_argument("Rng::poisson: negative mean");
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // large-mean regime used only in stress tests.
+    const double sample = normal(mean, std::sqrt(mean));
+    return sample <= 0.0 ? 0u : static_cast<std::uint32_t>(sample + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = uniform();
+  std::uint32_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the current state words with the stream index through splitmix64 so
+  // forked streams are decorrelated from the parent and from each other.
+  std::uint64_t mix = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                      rotl(s_[3], 47) ^ (stream * 0xD1342543DE82EF95ULL + 1);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace asmcap

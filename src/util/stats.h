@@ -1,0 +1,73 @@
+#pragma once
+// Lightweight statistics helpers shared by the circuit Monte-Carlo engine,
+// the accuracy evaluation, and the benchmark reports.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace asmcap {
+
+/// Single-pass running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are clamped into
+/// the edge bins so totals always balance.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+  /// Value below which the given fraction of the samples fall (linear
+  /// interpolation inside the containing bin).
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Mean of a span (0 for empty input).
+double mean_of(std::span<const double> xs);
+
+/// Unbiased sample standard deviation of a span (0 for fewer than 2 values).
+double stddev_of(std::span<const double> xs);
+
+/// Geometric mean of strictly positive values (used for the "average
+/// speedup" style aggregates the paper reports).
+double geomean_of(std::span<const double> xs);
+
+/// Pearson correlation of two equally sized spans.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace asmcap

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "circuit/area.h"
+#include "circuit/power.h"
+#include "circuit/timing.h"
+
+namespace asmcap {
+namespace {
+
+class CircuitModels : public ::testing::Test {
+ protected:
+  ProcessParams process_;
+  AreaModel area_{process_.area};
+  PowerModel power_{process_};
+  TimingModel timing_{process_};
+};
+
+// ---- Table I ---------------------------------------------------------------
+
+TEST_F(CircuitModels, Table1CellArea) {
+  // ASMCap 24.0 um^2, EDAM 33.4 um^2 (1.4x).
+  EXPECT_NEAR(area_.asmcap_cell_area(), 24.0e-12, 0.5e-12);
+  EXPECT_NEAR(area_.edam_cell_area(), 33.4e-12, 0.5e-12);
+  EXPECT_NEAR(area_.edam_cell_area() / area_.asmcap_cell_area(), 1.4, 0.05);
+}
+
+TEST_F(CircuitModels, Table1SearchTime) {
+  // ASMCap 0.9 ns, EDAM 2.4 ns (2.6x).
+  EXPECT_NEAR(timing_.asmcap_search().total, 0.9e-9, 1e-12);
+  EXPECT_NEAR(timing_.edam_search().total, 2.4e-9, 1e-12);
+  EXPECT_NEAR(timing_.edam_search().total / timing_.asmcap_search().total,
+              2.667, 0.1);
+  // ASMCap skips the pre-charge phase entirely.
+  EXPECT_EQ(timing_.asmcap_search().precharge, 0.0);
+  EXPECT_GT(timing_.edam_search().precharge, 0.0);
+}
+
+TEST_F(CircuitModels, Table1PowerPerCell) {
+  // ASMCap ~0.12 uW/cell, EDAM ~1.0 uW/cell (8.5x), at the paper's
+  // workload operating point (n_mis close to N).
+  const double n_mis = PowerModel::paper_avg_n_mis(256);
+  const double asmcap = power_.asmcap_array_power(256, 256, n_mis).per_cell;
+  const double edam = power_.edam_array_power(256, 256, n_mis).per_cell;
+  EXPECT_NEAR(asmcap, 0.12e-6, 0.02e-6);
+  EXPECT_NEAR(edam, 1.0e-6, 0.15e-6);
+  EXPECT_NEAR(edam / asmcap, 8.5, 1.5);
+}
+
+// ---- §V-B area & power breakdown -------------------------------------------
+
+TEST_F(CircuitModels, BreakdownArea) {
+  const auto breakdown = area_.asmcap_array(256, 256);
+  EXPECT_NEAR(breakdown.total, 1.58e-6, 0.03e-6);  // 1.58 mm^2
+  EXPECT_GT(breakdown.cells_fraction, 0.99);
+  EXPECT_NEAR(breakdown.cells_total + breakdown.periphery, breakdown.total,
+              1e-15);
+}
+
+TEST_F(CircuitModels, BreakdownPower) {
+  const double n_mis = PowerModel::paper_avg_n_mis(256);
+  const auto breakdown = power_.asmcap_array_power(256, 256, n_mis);
+  EXPECT_NEAR(breakdown.total, 7.67e-3, 0.4e-3);  // 7.67 mW
+  EXPECT_NEAR(breakdown.cells / breakdown.total, 0.75, 0.03);
+  EXPECT_NEAR(breakdown.shift_registers / breakdown.total, 0.19, 0.03);
+  EXPECT_NEAR(breakdown.sense_amps / breakdown.total, 0.06, 0.02);
+}
+
+// ---- Model structure --------------------------------------------------------
+
+TEST_F(CircuitModels, EdamArrayPaysPrechargeEnergy) {
+  const double asmcap_energy = power_.asmcap_search_energy(256, 256, 128);
+  const double edam_energy = power_.edam_search_energy(256, 256, 128);
+  EXPECT_GT(edam_energy, asmcap_energy);
+}
+
+TEST_F(CircuitModels, Eq1EnergyVanishesAtExtremes) {
+  // Matchline (cells) energy follows Eq. 1: ~0 at n_mis = 0 and N; the
+  // periphery keeps total energy positive.
+  const double mid = power_.asmcap_search_energy(256, 256, 128);
+  const double low = power_.asmcap_search_energy(256, 256, 0.0);
+  const double high = power_.asmcap_search_energy(256, 256, 256.0);
+  EXPECT_GT(mid, 3.0 * low);
+  EXPECT_GT(mid, 3.0 * high);
+  EXPECT_GT(low, 0.0);
+}
+
+TEST_F(CircuitModels, PowerValidation) {
+  EXPECT_THROW(power_.asmcap_search_energy(0, 256, 10), std::invalid_argument);
+  EXPECT_THROW(power_.asmcap_search_energy(256, 256, 300),
+               std::invalid_argument);
+  EXPECT_THROW(power_.edam_array_power(256, 256, -1.0), std::invalid_argument);
+}
+
+TEST_F(CircuitModels, QueryLatencyScalesWithSearches) {
+  EXPECT_DOUBLE_EQ(timing_.asmcap_query_latency(3),
+                   3.0 * timing_.asmcap_search().total);
+  EXPECT_DOUBLE_EQ(timing_.edam_query_latency(2),
+                   2.0 * timing_.edam_search().total);
+}
+
+TEST_F(CircuitModels, EdamAreaBreakdownUsesEdamCell) {
+  const auto edam = area_.edam_array(256, 256);
+  const auto asmcap = area_.asmcap_array(256, 256);
+  EXPECT_GT(edam.total, asmcap.total);
+  EXPECT_NEAR(edam.cell_area, 33.4e-12, 0.5e-12);
+}
+
+}  // namespace
+}  // namespace asmcap

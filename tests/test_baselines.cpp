@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "align/edit_distance.h"
+#include "baseline/cmcpu.h"
+#include "baseline/kraken_like.h"
+#include "baseline/resma.h"
+#include "baseline/savi.h"
+#include "genome/dataset.h"
+#include "genome/edits.h"
+#include "genome/reference.h"
+
+namespace asmcap {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(601);
+    const Sequence reference = generate_reference(128 * 16 + 256, {}, rng);
+    rows_ = segment_reference(reference, 128);
+    rows_.resize(16);
+    rng_ = Rng(602);
+  }
+  std::vector<Sequence> rows_;
+  Rng rng_{602};
+};
+
+// ---- CM-CPU ---------------------------------------------------------------
+
+TEST_F(BaselineTest, CmCpuAllKernelsAgree) {
+  const Sequence read = rows_[4];
+  for (const CmKernel kernel :
+       {CmKernel::FullDp, CmKernel::BandedDp, CmKernel::MyersBitParallel}) {
+    CmCpuConfig config;
+    config.kernel = kernel;
+    const CmCpuBaseline cpu(config);
+    const auto decisions = cpu.decide_rows(read, rows_, 3);
+    for (std::size_t r = 0; r < rows_.size(); ++r)
+      EXPECT_EQ(decisions[r], edit_distance(rows_[r], read) <= 3)
+          << "kernel=" << static_cast<int>(kernel) << " r=" << r;
+  }
+}
+
+TEST_F(BaselineTest, CmCpuPerfScalesWithWork) {
+  const CmCpuBaseline cpu;
+  EXPECT_GT(cpu.seconds_per_read(256, 1000, 4),
+            cpu.seconds_per_read(256, 100, 4));
+  EXPECT_GT(cpu.joules_per_read(256, 100, 4), 0.0);
+  CmCpuConfig full;
+  full.kernel = CmKernel::FullDp;
+  CmCpuConfig banded;
+  banded.kernel = CmKernel::BandedDp;
+  // Banded with a small cap is much cheaper than the full matrix.
+  EXPECT_GT(CmCpuBaseline(full).seconds_per_read(256, 100, 4),
+            10.0 * CmCpuBaseline(banded).seconds_per_read(256, 100, 4));
+}
+
+// ---- ReSMA ----------------------------------------------------------------
+
+TEST_F(BaselineTest, ResmaExactOnSurvivors) {
+  const ResmaBaseline resma;
+  Rng rng(603);
+  const EditedSequence edited = inject_edits(rows_[2], {0.02, 0.0, 0.0}, rng);
+  const auto decisions = resma.decide_rows(edited.seq, rows_, 6);
+  // The true row shares plenty of 12-mers: it passes the filter and its
+  // decision equals the exact ED test.
+  EXPECT_EQ(decisions[2],
+            banded_edit_distance(rows_[2], edited.seq, 6).within_band);
+}
+
+TEST_F(BaselineTest, ResmaFilterPrunesUnrelatedRows) {
+  const ResmaBaseline resma;
+  Rng rng(604);
+  const Sequence foreign = Sequence::random(128, rng);
+  std::size_t pruned = 0;
+  resma.decide_rows(foreign, rows_, 6, &pruned);
+  // A random 128-mer shares a 12-mer with a row only with tiny probability.
+  EXPECT_GT(pruned, rows_.size() - 3);
+  EXPECT_EQ(resma.count_candidates(foreign, rows_), rows_.size() - pruned);
+}
+
+TEST_F(BaselineTest, ResmaPerfModelShape) {
+  const ResmaBaseline resma;
+  // Latency grows with candidates once lanes saturate.
+  EXPECT_GT(resma.seconds_per_read(256, 200), resma.seconds_per_read(256, 1));
+  // Energy dominated by DP writes: linear in candidates.
+  const double e1 = resma.joules_per_read(256, 1);
+  const double e4 = resma.joules_per_read(256, 4);
+  EXPECT_NEAR(e4 - resma.config().filter_energy,
+              4.0 * (e1 - resma.config().filter_energy), 1e-9);
+}
+
+// ---- SaVI -----------------------------------------------------------------
+
+TEST_F(BaselineTest, SaviFindsTrueRow) {
+  SaviBaseline savi;
+  savi.index_rows(rows_);
+  Rng rng(605);
+  const EditedSequence edited = inject_edits(rows_[9], {0.01, 0.0, 0.0}, rng);
+  const auto decisions = savi.decide_rows(edited.seq);
+  ASSERT_EQ(decisions.size(), rows_.size());
+  EXPECT_TRUE(decisions[9]);
+}
+
+TEST_F(BaselineTest, SaviToleratesSingleIndel) {
+  SaviBaseline savi;
+  savi.index_rows(rows_);
+  Rng rng(606);
+  EditedSequence edited =
+      inject_indel_burst(rows_[1], EditKind::Deletion, 1, rng);
+  edited.seq.push_back(Base::A);
+  EXPECT_TRUE(savi.decide_rows(edited.seq)[1])
+      << "diagonal slack must absorb a single shift";
+}
+
+TEST_F(BaselineTest, SaviRejectsForeignReads) {
+  SaviBaseline savi;
+  savi.index_rows(rows_);
+  Rng rng(607);
+  const Sequence foreign = Sequence::random(128, rng);
+  const auto decisions = savi.decide_rows(foreign);
+  for (bool d : decisions) EXPECT_FALSE(d);
+}
+
+TEST_F(BaselineTest, SaviMissesHeavilyErroredReads) {
+  // Seed-and-vote accuracy loss: dense substitutions destroy most 15-mers.
+  SaviBaseline savi;
+  savi.index_rows(rows_);
+  Rng rng(608);
+  int missed = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const EditedSequence edited =
+        inject_edits(rows_[3], {0.25, 0.0, 0.0}, rng);  // 25% substitutions
+    if (!savi.decide_rows(edited.seq)[3]) ++missed;
+  }
+  EXPECT_GT(missed, trials / 4);
+}
+
+TEST_F(BaselineTest, SaviPerfModel) {
+  const SaviBaseline savi;
+  EXPECT_GT(savi.seconds_per_read(256), 0.0);
+  EXPECT_GT(savi.joules_per_read(256), 0.0);
+  // 242 probes over 2 banks at 1 ns: ~121 ns.
+  EXPECT_NEAR(savi.seconds_per_read(256), 121e-9, 5e-9);
+}
+
+// ---- Kraken-like ------------------------------------------------------------
+
+TEST_F(BaselineTest, KrakenFindsCleanReads) {
+  KrakenLikeClassifier kraken;
+  kraken.index_rows(rows_);
+  const auto decisions = kraken.decide_rows(rows_[6]);
+  EXPECT_TRUE(decisions[6]);
+}
+
+TEST_F(BaselineTest, KrakenDegradesWithErrors) {
+  // Exact matching: substitutions at 1 % destroy a large share of 22-mers;
+  // hit fractions drop well below the clean-read level.
+  KrakenLikeClassifier kraken;
+  kraken.index_rows(rows_);
+  Rng rng(609);
+  double clean = 0.0;
+  double noisy = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    clean += kraken.hit_fractions(rows_[5])[5];
+    const EditedSequence edited =
+        inject_edits(rows_[5], {0.03, 0.005, 0.005}, rng);
+    Sequence read = edited.seq;
+    while (read.size() < 128) read.push_back(Base::A);
+    if (read.size() > 128) read = read.subseq(0, 128);
+    noisy += kraken.hit_fractions(read)[5];
+  }
+  EXPECT_GT(clean / trials, 0.9);
+  EXPECT_LT(noisy / trials, 0.7 * clean / trials);
+}
+
+TEST_F(BaselineTest, KrakenStrandInsensitive) {
+  KrakenLikeClassifier kraken;
+  kraken.index_rows(rows_);
+  const auto fractions = kraken.hit_fractions(rows_[2].reverse_complement());
+  EXPECT_GT(fractions[2], 0.9);
+}
+
+TEST_F(BaselineTest, KrakenShortReadSafe) {
+  KrakenLikeClassifier kraken;
+  kraken.index_rows(rows_);
+  Rng rng(610);
+  const auto decisions = kraken.decide_rows(Sequence::random(10, rng));
+  for (bool d : decisions) EXPECT_FALSE(d);
+}
+
+}  // namespace
+}  // namespace asmcap

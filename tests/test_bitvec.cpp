@@ -1,0 +1,148 @@
+#include "util/bitvec.h"
+
+#include <gtest/gtest.h>
+
+namespace asmcap {
+namespace {
+
+TEST(BitVec, DefaultEmpty) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, ConstructAllSet) {
+  BitVec v(130, true);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 130u);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(129));
+}
+
+TEST(BitVec, SetGetClear) {
+  BitVec v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_EQ(v.popcount(), 4u);
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  v.clear(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(10);
+  EXPECT_THROW(v.get(10), std::out_of_range);
+  EXPECT_THROW(v.set(10), std::out_of_range);
+}
+
+TEST(BitVec, FindFirstAndNext) {
+  BitVec v(200);
+  EXPECT_EQ(v.find_first(), 200u);
+  v.set(5);
+  v.set(64);
+  v.set(199);
+  EXPECT_EQ(v.find_first(), 5u);
+  EXPECT_EQ(v.find_next(6), 64u);
+  EXPECT_EQ(v.find_next(65), 199u);
+  EXPECT_EQ(v.find_next(200), 200u);
+}
+
+TEST(BitVec, IterationVisitsAllSetBits) {
+  BitVec v(300);
+  for (std::size_t i = 0; i < 300; i += 7) v.set(i);
+  std::size_t visited = 0;
+  for (std::size_t i = v.find_first(); i < v.size(); i = v.find_next(i + 1)) {
+    EXPECT_EQ(i % 7, 0u);
+    ++visited;
+  }
+  EXPECT_EQ(visited, v.popcount());
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a(66);
+  BitVec b(66);
+  a.set(1);
+  a.set(65);
+  b.set(1);
+  b.set(2);
+  BitVec both = a;
+  both &= b;
+  EXPECT_EQ(both.popcount(), 1u);
+  EXPECT_TRUE(both.get(1));
+  BitVec either = a;
+  either |= b;
+  EXPECT_EQ(either.popcount(), 3u);
+  BitVec diff = a;
+  diff ^= b;
+  EXPECT_EQ(diff.popcount(), 2u);
+  EXPECT_TRUE(diff.get(2));
+  EXPECT_TRUE(diff.get(65));
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(10);
+  BitVec b(11);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+}
+
+TEST(BitVec, FlipKeepsTailClean) {
+  BitVec v(67);
+  v.set(0);
+  v.flip();
+  EXPECT_EQ(v.popcount(), 66u);
+  EXPECT_FALSE(v.get(0));
+  // find_next must not report ghost bits beyond size().
+  EXPECT_EQ(v.find_next(66), 66u);
+}
+
+TEST(BitVec, ResizeGrowAndShrink) {
+  BitVec v(10);
+  v.set(9);
+  v.resize(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_TRUE(v.get(9));
+  EXPECT_FALSE(v.get(50));
+  v.resize(130, true);
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(50));
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, ResizeWithFillStartsMidWord) {
+  BitVec v(3);
+  v.resize(10, true);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_FALSE(v.get(2));
+  for (std::size_t i = 3; i < 10; ++i) EXPECT_TRUE(v.get(i));
+}
+
+TEST(BitVec, Equality) {
+  BitVec a(64);
+  BitVec b(64);
+  EXPECT_TRUE(a == b);
+  a.set(3);
+  EXPECT_FALSE(a == b);
+  b.set(3);
+  EXPECT_TRUE(a == b);
+  const BitVec c(65);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVec, Reset) {
+  BitVec v(100, true);
+  v.reset();
+  EXPECT_EQ(v.popcount(), 0u);
+  EXPECT_EQ(v.size(), 100u);
+}
+
+}  // namespace
+}  // namespace asmcap

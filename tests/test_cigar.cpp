@@ -1,0 +1,111 @@
+#include "align/cigar.h"
+
+#include <gtest/gtest.h>
+
+#include "align/edit_distance.h"
+#include "genome/edits.h"
+
+namespace asmcap {
+namespace {
+
+TEST(Cigar, OpChars) {
+  EXPECT_EQ(to_char(CigarOp::Match), '=');
+  EXPECT_EQ(to_char(CigarOp::Mismatch), 'X');
+  EXPECT_EQ(to_char(CigarOp::Insertion), 'I');
+  EXPECT_EQ(to_char(CigarOp::Deletion), 'D');
+}
+
+TEST(Cigar, PerfectMatch) {
+  const Sequence s = Sequence::from_string("ACGTACGT");
+  const Alignment alignment = align_global(s, s);
+  EXPECT_EQ(alignment.edit_distance, 0u);
+  EXPECT_EQ(alignment.to_string(), "8=");
+  EXPECT_TRUE(cigar_consistent(alignment, s, s));
+}
+
+TEST(Cigar, SingleSubstitution) {
+  const Sequence reference = Sequence::from_string("ACGTACGT");
+  Sequence read = reference;
+  read.set(3, Base::A);
+  const Alignment alignment = align_global(reference, read);
+  EXPECT_EQ(alignment.edit_distance, 1u);
+  EXPECT_EQ(alignment.to_string(), "3=1X4=");
+  EXPECT_TRUE(cigar_consistent(alignment, reference, read));
+}
+
+TEST(Cigar, SingleDeletion) {
+  const Sequence reference = Sequence::from_string("ACGTACGT");
+  Sequence read = reference;
+  read.erase(2);
+  const Alignment alignment = align_global(reference, read);
+  EXPECT_EQ(alignment.edit_distance, 1u);
+  EXPECT_EQ(alignment.read_length(), 7u);
+  EXPECT_EQ(alignment.reference_length(), 8u);
+  EXPECT_TRUE(cigar_consistent(alignment, reference, read));
+}
+
+TEST(Cigar, SingleInsertion) {
+  const Sequence reference = Sequence::from_string("ACGTACGT");
+  Sequence read = reference;
+  read.insert(5, Base::T);
+  const Alignment alignment = align_global(reference, read);
+  EXPECT_EQ(alignment.edit_distance, 1u);
+  EXPECT_EQ(alignment.read_length(), 9u);
+  EXPECT_TRUE(cigar_consistent(alignment, reference, read));
+}
+
+TEST(Cigar, EmptySequences) {
+  const Sequence empty;
+  const Sequence s = Sequence::from_string("ACG");
+  const Alignment del_all = align_global(s, empty);
+  EXPECT_EQ(del_all.edit_distance, 3u);
+  EXPECT_EQ(del_all.to_string(), "3D");
+  const Alignment ins_all = align_global(empty, s);
+  EXPECT_EQ(ins_all.to_string(), "3I");
+  const Alignment nothing = align_global(empty, empty);
+  EXPECT_TRUE(nothing.cigar.empty());
+  EXPECT_EQ(nothing.edit_distance, 0u);
+}
+
+TEST(Cigar, DistanceMatchesReference) {
+  Rng rng(811);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Sequence reference = Sequence::random(60 + rng.below(80), rng);
+    const EditedSequence mutated =
+        inject_edits(reference, {0.05, 0.03, 0.03}, rng);
+    const Alignment alignment = align_global(reference, mutated.seq);
+    EXPECT_EQ(alignment.edit_distance,
+              edit_distance(reference, mutated.seq));
+    EXPECT_TRUE(cigar_consistent(alignment, reference, mutated.seq));
+  }
+}
+
+TEST(Cigar, RunsAreCoalesced) {
+  Rng rng(813);
+  const Sequence reference = Sequence::random(100, rng);
+  const Alignment alignment = align_global(reference, reference);
+  ASSERT_EQ(alignment.cigar.size(), 1u);
+  EXPECT_EQ(alignment.cigar[0].length, 100u);
+  // No two adjacent entries share an op in any alignment.
+  for (int trial = 0; trial < 10; ++trial) {
+    const EditedSequence mutated =
+        inject_edits(reference, {0.1, 0.03, 0.03}, rng);
+    const Alignment a = align_global(reference, mutated.seq);
+    for (std::size_t i = 1; i < a.cigar.size(); ++i)
+      EXPECT_NE(a.cigar[i].op, a.cigar[i - 1].op);
+  }
+}
+
+TEST(Cigar, ConsistencyRejectsWrongPairs) {
+  const Sequence reference = Sequence::from_string("ACGTACGT");
+  const Sequence read = Sequence::from_string("ACGTACGA");
+  const Alignment alignment = align_global(reference, read);
+  // Same alignment against a different read must fail the check.
+  const Sequence other = Sequence::from_string("TCGTACGA");
+  EXPECT_FALSE(cigar_consistent(alignment, reference, other));
+  const Sequence short_read = Sequence::from_string("ACG");
+  EXPECT_FALSE(cigar_consistent(alignment, reference, short_read));
+}
+
+}  // namespace
+}  // namespace asmcap

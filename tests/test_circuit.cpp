@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/capacitor.h"
+#include "circuit/matchline.h"
+#include "circuit/process.h"
+#include "circuit/sense_amp.h"
+#include "util/stats.h"
+
+namespace asmcap {
+namespace {
+
+TEST(Process, DefaultsAreValid) {
+  EXPECT_NO_THROW(validate(ProcessParams{}));
+}
+
+TEST(Process, DefaultsMatchPaperSetup) {
+  const ProcessParams p;
+  EXPECT_DOUBLE_EQ(p.charge.vdd, 1.2);
+  EXPECT_DOUBLE_EQ(p.charge.cap_mean, 2e-15);      // 2 fF MIM
+  EXPECT_DOUBLE_EQ(p.charge.cap_sigma_rel, 0.014);  // 1.4 %
+  EXPECT_DOUBLE_EQ(p.current.i_sigma_rel, 0.025);   // 2.5 %
+  EXPECT_NEAR(p.charge.search_time(), 0.9e-9, 1e-12);   // Table I
+  EXPECT_NEAR(p.current.search_time(), 2.4e-9, 1e-12);  // Table I
+}
+
+TEST(Process, ValidationCatchesBadValues) {
+  ProcessParams p;
+  p.charge.vdd = -1.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p = {};
+  p.charge.cap_sigma_rel = 1.5;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p = {};
+  p.current.cell_current = 0.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p = {};
+  p.area.periphery_area_fraction = 1.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+}
+
+TEST(CapacitorBank, IdealVmlIsLinear) {
+  Rng rng(1);
+  ChargeDomainParams params;
+  const CapacitorBank bank(256, params, rng);
+  EXPECT_DOUBLE_EQ(bank.ideal_vml(0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.ideal_vml(256), 1.2);
+  EXPECT_NEAR(bank.ideal_vml(128), 0.6, 1e-12);
+  EXPECT_THROW(bank.ideal_vml(257), std::out_of_range);
+}
+
+TEST(CapacitorBank, ActualVmlTracksIdeal) {
+  Rng rng(2);
+  const CapacitorBank bank(256, {}, rng);
+  BitVec mask(256);
+  for (std::size_t i = 0; i < 64; ++i) mask.set(i * 4);
+  const double actual = bank.actual_vml(mask);
+  EXPECT_NEAR(actual, bank.ideal_vml(64), 0.01);  // within mismatch spread
+  EXPECT_THROW(bank.actual_vml(BitVec(100)), std::invalid_argument);
+}
+
+TEST(CapacitorBank, ZeroSigmaIsExact) {
+  Rng rng(3);
+  ChargeDomainParams params;
+  params.cap_sigma_rel = 0.0;
+  const CapacitorBank bank(128, params, rng);
+  BitVec mask(128);
+  for (std::size_t i = 0; i < 32; ++i) mask.set(i);
+  EXPECT_NEAR(bank.actual_vml(mask), bank.ideal_vml(32), 1e-12);
+}
+
+TEST(CapacitorBank, Eq1EnergySymmetricAndPeaksAtHalf) {
+  Rng rng(4);
+  const CapacitorBank bank(256, {}, rng);
+  // Paper Eq. 1 is symmetric in n_mis <-> N - n_mis.
+  EXPECT_DOUBLE_EQ(bank.search_energy(10), bank.search_energy(246));
+  EXPECT_DOUBLE_EQ(bank.search_energy(0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.search_energy(256), 0.0);
+  EXPECT_GT(bank.search_energy(128), bank.search_energy(64));
+  // Absolute value: 128*128/256 * 2fF * 1.44 = 1.8432e-13 J.
+  EXPECT_NEAR(bank.search_energy(128), 64.0 * 2e-15 * 1.44, 1e-18);
+}
+
+TEST(CapacitorBank, Eq2VarianceShape) {
+  Rng rng(5);
+  const CapacitorBank bank(256, {}, rng);
+  EXPECT_DOUBLE_EQ(bank.vml_variance(0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.vml_variance(256), 0.0);
+  EXPECT_GT(bank.vml_variance(128), bank.vml_variance(16));
+  // Eq. 2 at n=128, N=256: 128*128/256^3 * 0.014^2 * 1.44.
+  const double expected = 128.0 * 128.0 / (256.0 * 256.0 * 256.0) *
+                          0.014 * 0.014 * 1.44;
+  EXPECT_NEAR(bank.vml_variance(128), expected, 1e-12);
+}
+
+TEST(CapacitorBank, EmpiricalVarianceMatchesEq2) {
+  // Monte-Carlo check of paper Eq. 2: ensemble variance across manufactured
+  // rows at fixed n_mis should match the analytic form within sampling error.
+  ChargeDomainParams params;
+  Rng rng(6);
+  const std::size_t n_cells = 128;
+  const std::size_t n_mis = 64;
+  RunningStats stats;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const CapacitorBank bank(n_cells, params, rng);
+    BitVec mask(n_cells);
+    for (std::size_t i = 0; i < n_mis; ++i) mask.set(i);
+    stats.add(bank.actual_vml(mask));
+  }
+  const CapacitorBank reference_bank(n_cells, params, rng);
+  const double analytic = reference_bank.vml_variance(n_mis);
+  EXPECT_NEAR(stats.variance(), analytic, 0.25 * analytic);
+}
+
+TEST(ChargeMatchline, SettleUsesBank) {
+  Rng rng(7);
+  const ChargeMatchline line(64, {}, rng);
+  BitVec mask(64);
+  mask.set(0);
+  const double one = line.settle(mask);
+  EXPECT_NEAR(one, 1.2 / 64.0, 0.15 / 64.0);
+  EXPECT_EQ(line.cells(), 64u);
+}
+
+TEST(CurrentMatchline, IdealDischargeLinearUntilClamp) {
+  Rng rng(8);
+  CurrentDomainParams params;
+  const CurrentMatchline line(256, params, rng);
+  const double vpc = line.volts_per_count();
+  EXPECT_NEAR(vpc, 1.2 / 256.0, 1e-4);  // full-range mapping
+  EXPECT_NEAR(line.ideal_vml(0), 1.2, 1e-12);
+  EXPECT_NEAR(line.ideal_vml(10), 1.2 - 10 * vpc, 1e-9);
+  EXPECT_DOUBLE_EQ(line.ideal_vml(256), 0.0);  // clamped
+}
+
+TEST(CurrentMatchline, NominalDropScalesWithCount) {
+  Rng rng(9);
+  const CurrentMatchline line(128, {}, rng);
+  BitVec small(128);
+  BitVec large(128);
+  for (std::size_t i = 0; i < 8; ++i) small.set(i);
+  for (std::size_t i = 0; i < 64; ++i) large.set(i);
+  EXPECT_GT(line.nominal_drop(large), 5.0 * line.nominal_drop(small));
+}
+
+TEST(CurrentMatchline, SampleNoiseStatistics) {
+  Rng rng(10);
+  CurrentDomainParams params;
+  const CurrentMatchline line(256, params, rng);
+  BitVec mask(256);
+  for (std::size_t i = 0; i < 5; ++i) mask.set(i * 3);
+  const double drop = line.nominal_drop(mask);
+  RunningStats stats;
+  Rng noise(11);
+  for (int t = 0; t < 4000; ++t)
+    stats.add(line.sample_from_drop(drop, noise));
+  EXPECT_NEAR(stats.mean(), 1.2 - drop, 2e-3);
+  // Random noise must include at least the S/H component.
+  EXPECT_GT(stats.stddev(), 0.5 * params.sh_noise_sigma);
+}
+
+TEST(CurrentMatchline, EnergyGrowsWithMismatches) {
+  Rng rng(12);
+  const CurrentMatchline line(256, {}, rng);
+  EXPECT_GT(line.search_energy(200), line.search_energy(20));
+  EXPECT_GT(line.search_energy(20), 0.0);
+}
+
+TEST(SenseAmp, NoiselessDecisionsAreExact) {
+  const SenseAmp sa(0.0);
+  Rng rng(13);
+  EXPECT_TRUE(sa.below(0.5, 0.6, rng));
+  EXPECT_FALSE(sa.below(0.7, 0.6, rng));
+  EXPECT_TRUE(sa.above(0.7, 0.6, rng));
+  EXPECT_FALSE(sa.above(0.5, 0.6, rng));
+}
+
+TEST(SenseAmp, NoiseFlipsMarginalDecisions) {
+  const SenseAmp sa(10e-3);
+  Rng rng(14);
+  int flips = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t)
+    flips += sa.below(0.600, 0.600, rng) ? 0 : 1;  // exactly at boundary
+  // About half the decisions flip at zero margin.
+  EXPECT_NEAR(static_cast<double>(flips) / trials, 0.5, 0.06);
+}
+
+TEST(SenseAmp, LargeMarginIsRobust) {
+  const SenseAmp sa(2e-3);
+  Rng rng(15);
+  for (int t = 0; t < 1000; ++t) {
+    EXPECT_TRUE(sa.below(0.5, 0.6, rng));   // 50 sigma margin
+    EXPECT_FALSE(sa.below(0.7, 0.6, rng));
+  }
+}
+
+TEST(Vref, ChargeDomainPlacement) {
+  // V_ref sits between level T and T+1: (T + 0.5)/N * VDD.
+  EXPECT_NEAR(charge_vref(4, 256, 1.2), 4.5 / 256.0 * 1.2, 1e-12);
+  EXPECT_THROW(charge_vref(4, 0, 1.2), std::invalid_argument);
+}
+
+TEST(Vref, CurrentDomainPlacement) {
+  const double vpc = 1.2 / 256.0;
+  EXPECT_NEAR(current_vref(4, 1.2, vpc), 1.2 - 4.5 * vpc, 1e-12);
+}
+
+TEST(Vref, ConsistentDecisions) {
+  // Ideal charge-domain V_ML at count n must satisfy: match iff n <= T.
+  for (std::size_t t = 0; t < 16; ++t) {
+    for (std::size_t n = 0; n < 32; ++n) {
+      const double vml = static_cast<double>(n) / 256.0 * 1.2;
+      const bool match = vml <= charge_vref(t, 256, 1.2);
+      EXPECT_EQ(match, n <= t) << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asmcap

@@ -1,0 +1,88 @@
+#include "asmcap/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace asmcap {
+namespace {
+
+TEST(Config, DefaultsMatchPaper) {
+  const AsmcapConfig config;
+  EXPECT_EQ(config.array_rows, 256u);
+  EXPECT_EQ(config.array_cols, 256u);
+  EXPECT_EQ(config.array_count, 512u);
+  EXPECT_DOUBLE_EQ(config.hdac.alpha, 200.0);
+  EXPECT_DOUBLE_EQ(config.hdac.beta, 0.5);
+  EXPECT_EQ(config.tasr.rotations, 2u);
+  EXPECT_DOUBLE_EQ(config.tasr.gamma, 2e-4);
+  // 64 Mb capacity (§V-E).
+  EXPECT_EQ(config.capacity_bits(), 64u * 1024 * 1024);
+  EXPECT_EQ(config.capacity_segments(), 512u * 256);
+}
+
+TEST(Config, StrategyModePredicates) {
+  EXPECT_FALSE(hdac_active(StrategyMode::Baseline));
+  EXPECT_TRUE(hdac_active(StrategyMode::HdacOnly));
+  EXPECT_TRUE(hdac_active(StrategyMode::Full));
+  EXPECT_FALSE(tasr_active(StrategyMode::HdacOnly));
+  EXPECT_TRUE(tasr_active(StrategyMode::TasrOnly));
+  EXPECT_TRUE(tasr_active(StrategyMode::Full));
+  EXPECT_STREQ(to_string(StrategyMode::Full), "ASMCap w/ H./T.");
+}
+
+TEST(HdacProbability, PaperFormula) {
+  const HdacParams params;  // alpha = 200, beta = 0.5
+  // Condition A: es = 1 %, eid = 0.1 %.
+  const ErrorRates a = ErrorRates::condition_a();
+  const double expected_t1 =
+      (0.01 / 0.011) * std::exp(-(200.0 * 0.001 + 0.5 * 1.0));
+  EXPECT_NEAR(hdac_probability(params, a, 1), expected_t1, 1e-12);
+  EXPECT_NEAR(hdac_probability(params, a, 1), 0.451, 0.01);
+  // Monotonically decreasing in T.
+  for (std::size_t t = 1; t < 8; ++t)
+    EXPECT_GT(hdac_probability(params, a, t),
+              hdac_probability(params, a, t + 1));
+}
+
+TEST(HdacProbability, IndelsSuppressSelection) {
+  const HdacParams params;
+  const ErrorRates b = ErrorRates::condition_b();  // eid = 1 %
+  // e^-2 damping plus the small substitution share: p must be tiny.
+  EXPECT_LT(hdac_probability(params, b, 2), 0.01);
+  EXPECT_GT(hdac_probability(params, ErrorRates::condition_a(), 2), 0.2);
+}
+
+TEST(HdacProbability, EdgeCases) {
+  const HdacParams params;
+  EXPECT_EQ(hdac_probability(params, ErrorRates{}, 1), 0.0);
+  // Pure substitutions, T = 0: p = e^0 = 1 at alpha*0 + beta*0.
+  const ErrorRates subs_only{0.01, 0.0, 0.0};
+  EXPECT_NEAR(hdac_probability(params, subs_only, 0), 1.0, 1e-12);
+}
+
+TEST(TasrLowerBound, PaperFormula) {
+  const TasrParams params;  // gamma = 2e-4
+  // Condition A: eid = 0.001 -> T_l = ceil(0.2 * 256) = 52: rotation
+  // effectively never triggers in the swept range (T <= 8).
+  EXPECT_EQ(tasr_lower_bound(params, ErrorRates::condition_a(), 256), 52u);
+  // Condition B: eid = 0.01 -> T_l = ceil(0.02 * 256) = 6.
+  EXPECT_EQ(tasr_lower_bound(params, ErrorRates::condition_b(), 256), 6u);
+}
+
+TEST(TasrLowerBound, NoIndelsNeverRotates) {
+  const TasrParams params;
+  EXPECT_EQ(tasr_lower_bound(params, ErrorRates{0.01, 0.0, 0.0}, 256),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(TasrLowerBound, ScalesWithReadLength) {
+  const TasrParams params;
+  const ErrorRates b = ErrorRates::condition_b();
+  EXPECT_GT(tasr_lower_bound(params, b, 512),
+            tasr_lower_bound(params, b, 128));
+}
+
+}  // namespace
+}  // namespace asmcap

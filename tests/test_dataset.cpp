@@ -1,0 +1,98 @@
+#include "genome/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "align/edit_distance.h"
+
+namespace asmcap {
+namespace {
+
+TEST(Dataset, DimensionsMatchConfig) {
+  Rng rng(21);
+  DatasetConfig config = condition_a_config(32, 64);
+  config.segment_length = 128;
+  const Dataset dataset = build_dataset(config, rng);
+  EXPECT_EQ(dataset.rows.size(), 32u);
+  EXPECT_EQ(dataset.queries.size(), 64u);
+  for (const auto& row : dataset.rows) EXPECT_EQ(row.size(), 128u);
+  for (const auto& q : dataset.queries) EXPECT_EQ(q.read.size(), 128u);
+  EXPECT_EQ(dataset.pair_count(), 32u * 64u);
+}
+
+TEST(Dataset, TrueRowsAreClose) {
+  Rng rng(22);
+  DatasetConfig config = condition_a_config(16, 64);
+  config.segment_length = 128;
+  config.contaminant_fraction = 0.0;
+  const Dataset dataset = build_dataset(config, rng);
+  for (const auto& q : dataset.queries) {
+    ASSERT_LT(q.true_row, dataset.rows.size());
+    // The read came from its true row's window: exact ED must be small
+    // (bounded by the applied edits plus repadding effects).
+    const std::size_t ed =
+        edit_distance(dataset.rows[q.true_row], q.read);
+    EXPECT_LE(ed, q.substitutions + 2 * (q.insertions + q.deletions) + 2);
+  }
+}
+
+TEST(Dataset, ContaminantsMarkedWithSentinel) {
+  Rng rng(23);
+  DatasetConfig config = condition_a_config(8, 200);
+  config.segment_length = 64;
+  config.contaminant_fraction = 0.5;
+  const Dataset dataset = build_dataset(config, rng);
+  std::size_t contaminants = 0;
+  for (const auto& q : dataset.queries)
+    contaminants += q.true_row == dataset.rows.size() ? 1u : 0u;
+  EXPECT_NEAR(contaminants, 100u, 30u);
+}
+
+TEST(Dataset, ContaminantsFarFromAllRows) {
+  Rng rng(24);
+  DatasetConfig config = condition_a_config(8, 40);
+  config.segment_length = 64;
+  config.contaminant_fraction = 1.0;
+  const Dataset dataset = build_dataset(config, rng);
+  for (const auto& q : dataset.queries) {
+    for (const auto& row : dataset.rows) {
+      EXPECT_FALSE(banded_edit_distance(row, q.read, 10).within_band);
+    }
+  }
+}
+
+TEST(Dataset, ConditionNamesAndRates) {
+  const DatasetConfig a = condition_a_config();
+  EXPECT_DOUBLE_EQ(a.rates.substitution, 0.01);
+  EXPECT_NE(a.name.find("Condition A"), std::string::npos);
+  const DatasetConfig b = condition_b_config();
+  EXPECT_DOUBLE_EQ(b.rates.insertion, 0.005);
+  EXPECT_NE(b.name.find("Condition B"), std::string::npos);
+}
+
+TEST(Dataset, Deterministic) {
+  DatasetConfig config = condition_b_config(8, 16);
+  config.segment_length = 64;
+  Rng r1(9);
+  Rng r2(9);
+  const Dataset d1 = build_dataset(config, r1);
+  const Dataset d2 = build_dataset(config, r2);
+  ASSERT_EQ(d1.rows.size(), d2.rows.size());
+  for (std::size_t i = 0; i < d1.rows.size(); ++i)
+    EXPECT_EQ(d1.rows[i], d2.rows[i]);
+  for (std::size_t i = 0; i < d1.queries.size(); ++i)
+    EXPECT_EQ(d1.queries[i].read, d2.queries[i].read);
+}
+
+TEST(Dataset, InvalidConfigThrows) {
+  Rng rng(1);
+  DatasetConfig empty;
+  empty.rows = 0;
+  EXPECT_THROW(build_dataset(empty, rng), std::invalid_argument);
+  DatasetConfig bad_frac = condition_a_config(4, 4);
+  bad_frac.segment_length = 32;
+  bad_frac.contaminant_fraction = 1.5;
+  EXPECT_THROW(build_dataset(bad_frac, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asmcap

@@ -1,0 +1,95 @@
+#include "genome/fasta.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace asmcap {
+namespace {
+
+TEST(Fasta, ParsesMultiRecord) {
+  std::istringstream in(
+      ">seq1 first record\nACGT\nACGT\n"
+      ">seq2\nTTTT\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "seq1");
+  EXPECT_EQ(records[0].comment, "first record");
+  EXPECT_EQ(records[0].seq.to_string(), "ACGTACGT");
+  EXPECT_EQ(records[1].id, "seq2");
+  EXPECT_EQ(records[1].seq.to_string(), "TTTT");
+}
+
+TEST(Fasta, CountsAmbiguousBases) {
+  std::istringstream in(">x\nACNNGT\n");
+  std::size_t ambiguous = 0;
+  const auto records = read_fasta(in, &ambiguous);
+  EXPECT_EQ(ambiguous, 2u);
+  EXPECT_EQ(records[0].seq.size(), 6u);  // Ns resolved, not dropped
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows) {
+  std::istringstream in("ACGT\n>late\nAC\n");
+  EXPECT_THROW(read_fasta(in), std::runtime_error);
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  std::vector<FastaRecord> records(2);
+  records[0].id = "a";
+  records[0].seq = Sequence::from_string("ACGTACGTACGT");
+  records[1].id = "b";
+  records[1].comment = "note";
+  records[1].seq = Sequence::from_string("GGCC");
+  std::ostringstream out;
+  write_fasta(out, records, 5);  // small wrap to test line breaking
+  std::istringstream in(out.str());
+  const auto parsed = read_fasta(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].seq.to_string(), "ACGTACGTACGT");
+  EXPECT_EQ(parsed[1].id, "b");
+  EXPECT_EQ(parsed[1].comment, "note");
+}
+
+TEST(Fasta, EmptyInputYieldsNothing) {
+  std::istringstream in("\n\n");
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+TEST(Fastq, ParsesRecords) {
+  std::istringstream in("@r1\nACGT\n+\nIIII\n@r2 extra\nGG\n+\nII\n");
+  const auto records = read_fastq(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "r1");
+  EXPECT_EQ(records[0].seq.to_string(), "ACGT");
+  EXPECT_EQ(records[0].quality, "IIII");
+  EXPECT_EQ(records[1].id, "r2");
+}
+
+TEST(Fastq, MalformedThrows) {
+  std::istringstream missing_plus("@r\nACGT\nIIII\nIIII\n");
+  EXPECT_THROW(read_fastq(missing_plus), std::runtime_error);
+  std::istringstream truncated("@r\nACGT\n");
+  EXPECT_THROW(read_fastq(truncated), std::runtime_error);
+  std::istringstream bad_len("@r\nACGT\n+\nII\n");
+  EXPECT_THROW(read_fastq(bad_len), std::runtime_error);
+}
+
+TEST(Fastq, WriteFillsDefaultQuality) {
+  std::vector<FastqRecord> records(1);
+  records[0].id = "x";
+  records[0].seq = Sequence::from_string("ACG");
+  std::ostringstream out;
+  write_fastq(out, records);
+  EXPECT_NE(out.str().find("III"), std::string::npos);
+  std::istringstream in(out.str());
+  const auto parsed = read_fastq(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq.to_string(), "ACG");
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/path.fa"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace asmcap

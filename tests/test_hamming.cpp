@@ -1,0 +1,70 @@
+#include "align/hamming.h"
+
+#include <gtest/gtest.h>
+
+namespace asmcap {
+namespace {
+
+TEST(Hamming, Basics) {
+  const Sequence a = Sequence::from_string("ACGT");
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+  EXPECT_EQ(hamming_distance(a, Sequence::from_string("ACGA")), 1u);
+  EXPECT_EQ(hamming_distance(a, Sequence::from_string("TGCA")), 4u);
+}
+
+TEST(Hamming, LengthMismatchThrows) {
+  const Sequence a = Sequence::from_string("ACGT");
+  const Sequence b = Sequence::from_string("ACG");
+  EXPECT_THROW(hamming_distance(a, b), std::invalid_argument);
+  EXPECT_THROW(hamming_mismatch_mask(a, b), std::invalid_argument);
+  EXPECT_THROW(hamming_within(a, b, 1), std::invalid_argument);
+}
+
+TEST(Hamming, MaskMatchesDistance) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sequence a = Sequence::random(200, rng);
+    Sequence b = a;
+    // flip some positions
+    for (int f = 0; f < 10; ++f) {
+      const std::size_t pos = rng.below(200);
+      b.set(pos, complement(b[pos]));  // complement always differs
+    }
+    const BitVec mask = hamming_mismatch_mask(a, b);
+    EXPECT_EQ(mask.popcount(), hamming_distance(a, b));
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_EQ(mask.get(i), a[i] != b[i]);
+  }
+}
+
+TEST(Hamming, WithinEarlyExit) {
+  const Sequence a = Sequence::from_string("AAAAAAAA");
+  const Sequence b = Sequence::from_string("CCCCAAAA");
+  EXPECT_TRUE(hamming_within(a, b, 4));
+  EXPECT_FALSE(hamming_within(a, b, 3));
+  EXPECT_TRUE(hamming_within(a, a, 0));
+}
+
+TEST(Hamming, SymmetricProperty) {
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Sequence a = Sequence::random(64, rng);
+    const Sequence b = Sequence::random(64, rng);
+    EXPECT_EQ(hamming_distance(a, b), hamming_distance(b, a));
+  }
+}
+
+TEST(Hamming, RandomPairsNearExpectation) {
+  Rng rng(35);
+  double total = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const Sequence a = Sequence::random(256, rng);
+    const Sequence b = Sequence::random(256, rng);
+    total += static_cast<double>(hamming_distance(a, b));
+  }
+  EXPECT_NEAR(total / trials / 256.0, 0.75, 0.01);  // 3/4 mismatch rate
+}
+
+}  // namespace
+}  // namespace asmcap

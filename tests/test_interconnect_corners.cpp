@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "cam/interconnect.h"
+#include "circuit/corners.h"
+#include "circuit/montecarlo.h"
+#include "circuit/timing.h"
+
+namespace asmcap {
+namespace {
+
+// ---- H-tree -----------------------------------------------------------------
+
+TEST(HTree, RoundsUpToPowerOfTwo) {
+  const HTree tree(512);
+  EXPECT_EQ(tree.leaves(), 512u);
+  EXPECT_EQ(tree.levels(), 9u);
+  const HTree odd(300);
+  EXPECT_EQ(odd.leaves(), 512u);
+  const HTree single(1);
+  EXPECT_EQ(single.leaves(), 1u);
+  EXPECT_EQ(single.levels(), 0u);
+  EXPECT_THROW(HTree(0), std::invalid_argument);
+}
+
+TEST(HTree, LatencyScalesWithLevels) {
+  const HTree small(64);
+  const HTree large(512);
+  EXPECT_GT(large.broadcast_latency(), small.broadcast_latency());
+  EXPECT_DOUBLE_EQ(large.broadcast_latency(),
+                   9.0 * large.params().level_latency);
+  EXPECT_DOUBLE_EQ(large.collect_latency(), large.broadcast_latency());
+}
+
+TEST(HTree, EnergyScalesWithLeavesAndWidth) {
+  const HTree tree(512);
+  EXPECT_GT(tree.broadcast_energy(256), tree.broadcast_energy(64));
+  EXPECT_NEAR(tree.broadcast_energy(256) / tree.broadcast_energy(64), 4.0,
+              1e-9);
+  // 2*(leaves-1) segment broadcasts.
+  const double expected =
+      2.0 * 511.0 * 256.0 * 4.0 * tree.params().energy_per_bit_level;
+  EXPECT_NEAR(tree.broadcast_energy(256), expected, 1e-18);
+}
+
+TEST(HTree, BroadcastIsSmallVsSearch) {
+  // Sanity: the H-tree must not dominate the 0.9 ns search (otherwise the
+  // paper's throughput story would collapse).
+  const HTree tree(512);
+  EXPECT_LT(tree.broadcast_latency(), 0.9e-9);
+}
+
+// ---- Process corners ---------------------------------------------------------
+
+TEST(Corners, Names) {
+  EXPECT_STREQ(to_string(ProcessCorner::SS), "SS");
+  EXPECT_STREQ(to_string(ProcessCorner::TT), "TT");
+  EXPECT_STREQ(to_string(ProcessCorner::FF), "FF");
+}
+
+TEST(Corners, TtIsIdentity) {
+  const ProcessParams nominal;
+  const ProcessParams tt = apply_corner(nominal, ProcessCorner::TT, 1.2);
+  EXPECT_DOUBLE_EQ(tt.charge.search_time(), nominal.charge.search_time());
+  EXPECT_DOUBLE_EQ(tt.current.cell_current, nominal.current.cell_current);
+}
+
+TEST(Corners, SsSlowerFfFaster) {
+  const ProcessParams nominal;
+  const TimingModel ss{apply_corner(nominal, ProcessCorner::SS)};
+  const TimingModel tt{apply_corner(nominal, ProcessCorner::TT)};
+  const TimingModel ff{apply_corner(nominal, ProcessCorner::FF)};
+  EXPECT_GT(ss.asmcap_search().total, tt.asmcap_search().total);
+  EXPECT_LT(ff.asmcap_search().total, tt.asmcap_search().total);
+  EXPECT_GT(ss.edam_search().total, tt.edam_search().total);
+}
+
+TEST(Corners, LowVoltageSlowsDown) {
+  const ProcessParams nominal;
+  const TimingModel low{apply_corner(nominal, ProcessCorner::TT, 1.0)};
+  const TimingModel high{apply_corner(nominal, ProcessCorner::TT, 1.32)};
+  EXPECT_GT(low.asmcap_search().total, high.asmcap_search().total);
+  EXPECT_THROW(apply_corner(nominal, ProcessCorner::TT, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Corners, MismatchScalingShrinksEdamStates) {
+  const ProcessParams nominal;
+  const ProcessParams ss = apply_corner(nominal, ProcessCorner::SS);
+  const ProcessParams ff = apply_corner(nominal, ProcessCorner::FF);
+  EXPECT_LT(current_domain_max_states(ss.current),
+            current_domain_max_states(nominal.current));
+  EXPECT_GE(current_domain_max_states(ff.current),
+            current_domain_max_states(nominal.current));
+}
+
+TEST(Corners, ResultStaysValid) {
+  for (const ProcessCorner corner :
+       {ProcessCorner::SS, ProcessCorner::TT, ProcessCorner::FF}) {
+    for (const double vdd : {1.0, 1.2, 1.32}) {
+      EXPECT_NO_THROW(apply_corner(ProcessParams{}, corner, vdd));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asmcap

@@ -1,0 +1,98 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace asmcap {
+namespace {
+
+TEST(ConfusionMatrix, AddRouting) {
+  ConfusionMatrix cm;
+  cm.add(true, true);
+  cm.add(true, false);
+  cm.add(false, true);
+  cm.add(false, false);
+  EXPECT_EQ(cm.tp, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.total(), 4u);
+}
+
+TEST(ConfusionMatrix, PaperEq3Eq4) {
+  // Sensitivity = TP/(TP+FN), Precision = TP/(TP+FP), F1 harmonic mean.
+  ConfusionMatrix cm;
+  cm.tp = 80;
+  cm.fn = 20;
+  cm.fp = 40;
+  cm.tn = 860;
+  EXPECT_DOUBLE_EQ(cm.sensitivity(), 0.8);
+  EXPECT_DOUBLE_EQ(cm.precision(), 80.0 / 120.0);
+  const double expected_f1 =
+      2.0 * 0.8 * (80.0 / 120.0) / (0.8 + 80.0 / 120.0);
+  EXPECT_NEAR(cm.f1(), expected_f1, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 940.0 / 1000.0);
+}
+
+TEST(ConfusionMatrix, DegenerateCasesAreZeroNotNan) {
+  ConfusionMatrix empty;
+  EXPECT_EQ(empty.sensitivity(), 0.0);
+  EXPECT_EQ(empty.precision(), 0.0);
+  EXPECT_EQ(empty.f1(), 0.0);
+  EXPECT_EQ(empty.accuracy(), 0.0);
+  ConfusionMatrix no_positives;
+  no_positives.tn = 10;
+  EXPECT_EQ(no_positives.f1(), 0.0);
+}
+
+TEST(ConfusionMatrix, PerfectScore) {
+  ConfusionMatrix cm;
+  cm.tp = 50;
+  cm.tn = 50;
+  EXPECT_DOUBLE_EQ(cm.f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, Merge) {
+  ConfusionMatrix a;
+  a.tp = 1;
+  a.fp = 2;
+  ConfusionMatrix b;
+  b.fn = 3;
+  b.tn = 4;
+  a.merge(b);
+  EXPECT_EQ(a.tp, 1u);
+  EXPECT_EQ(a.fp, 2u);
+  EXPECT_EQ(a.fn, 3u);
+  EXPECT_EQ(a.tn, 4u);
+}
+
+TEST(ConfusionMatrix, FromVectors) {
+  const std::vector<bool> predicted{true, true, false, false};
+  const std::vector<bool> actual{true, false, true, false};
+  const ConfusionMatrix cm = confusion_from(predicted, actual);
+  EXPECT_EQ(cm.tp, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_THROW(confusion_from({true}, {true, false}), std::invalid_argument);
+}
+
+TEST(NormalizedF1, Basics) {
+  EXPECT_DOUBLE_EQ(normalized_f1(0.9, 0.2), 4.5);
+  EXPECT_EQ(normalized_f1(0.9, 0.0), 0.0);
+}
+
+TEST(ConfusionMatrix, F1MonotoneInTp) {
+  // Adding true positives (holding errors fixed) never lowers F1.
+  ConfusionMatrix cm;
+  cm.fp = 5;
+  cm.fn = 5;
+  double previous = 0.0;
+  for (std::size_t tp = 1; tp < 50; ++tp) {
+    cm.tp = tp;
+    EXPECT_GE(cm.f1(), previous);
+    previous = cm.f1();
+  }
+}
+
+}  // namespace
+}  // namespace asmcap

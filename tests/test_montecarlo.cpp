@@ -1,0 +1,111 @@
+#include "circuit/montecarlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace asmcap {
+namespace {
+
+TEST(States, PaperHeadlineNumbers) {
+  // §V-D: EDAM supports at most 44 distinguishable states at 2.5 % current
+  // variation; ASMCap supports 566 at 1.4 % capacitor variation.
+  const ProcessParams process;
+  EXPECT_EQ(current_domain_max_states(process.current), 44u);
+  EXPECT_EQ(charge_domain_max_states(process.charge), 566u);
+}
+
+TEST(States, TightenVariationRaisesStates) {
+  ChargeDomainParams charge;
+  charge.cap_sigma_rel = 0.007;  // halve the mismatch
+  EXPECT_GT(charge_domain_max_states(charge), 566u * 3);
+  CurrentDomainParams current;
+  current.i_sigma_rel = 0.0125;
+  EXPECT_GT(current_domain_max_states(current), 44u * 3);
+}
+
+TEST(States, IdealDevicesUnbounded) {
+  ChargeDomainParams charge;
+  charge.cap_sigma_rel = 0.0;
+  EXPECT_EQ(charge_domain_max_states(charge), ~std::size_t{0});
+  CurrentDomainParams current;
+  current.i_sigma_rel = 0.0;
+  EXPECT_EQ(current_domain_max_states(current), ~std::size_t{0});
+}
+
+TEST(MonteCarlo, ChargeLevelsMatchAnalytic) {
+  const ChargeDomainParams params;
+  Rng rng(201);
+  const auto levels =
+      mc_charge_levels(params, 128, {32, 64, 96}, 1500, rng);
+  ASSERT_EQ(levels.size(), 3u);
+  for (const LevelStats& level : levels) {
+    const double ideal =
+        static_cast<double>(level.n_mis) / 128.0 * params.vdd;
+    EXPECT_NEAR(level.mean_vml, ideal, 0.002);
+    // Eq. 2 sigma.
+    const double analytic_sigma = std::sqrt(
+        static_cast<double>(level.n_mis) * (128.0 - level.n_mis) /
+        (128.0 * 128.0 * 128.0)) *
+        params.cap_sigma_rel * params.vdd;
+    EXPECT_NEAR(level.sigma_vml, analytic_sigma, 0.3 * analytic_sigma);
+  }
+}
+
+TEST(MonteCarlo, CurrentLevelsIncludeRandomNoise) {
+  const CurrentDomainParams params;
+  Rng rng(203);
+  const auto levels = mc_current_levels(params, 256, {4, 40}, 1000, rng);
+  ASSERT_EQ(levels.size(), 2u);
+  // Sigma must be at least the S/H noise floor.
+  for (const LevelStats& level : levels)
+    EXPECT_GT(level.sigma_vml, 0.8 * params.sh_noise_sigma);
+  // Means descend with the count.
+  EXPECT_GT(levels[0].mean_vml, levels[1].mean_vml);
+}
+
+TEST(MonteCarlo, SeparationCounting) {
+  std::vector<LevelStats> levels{{0, 0.0, 0.01},
+                                 {1, 0.1, 0.01},   // gap 0.1 >= 3*(0.02) ok
+                                 {2, 0.11, 0.01}}; // gap 0.01 < 0.06 fail
+  EXPECT_EQ(count_separated_pairs(levels), 1u);
+  EXPECT_EQ(count_separated_pairs({}), 0u);
+}
+
+TEST(MonteCarlo, ChargeDomainSeparatesSmallRows) {
+  // A 128-cell row is far below the 566-state limit: every adjacent level
+  // pair must be 3-sigma separated.
+  const ChargeDomainParams params;
+  Rng rng(205);
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 60; n <= 68; ++n) counts.push_back(n);
+  const auto levels = mc_charge_levels(params, 128, counts, 2000, rng);
+  EXPECT_EQ(count_separated_pairs(levels), counts.size() - 1);
+}
+
+TEST(MonteCarlo, CurrentDomainFailsBeyondLimit) {
+  // Counts far above 44 in a 256-cell current-domain row are no longer
+  // 3-sigma separated (sigma grows as sqrt(n) while the step is constant).
+  CurrentDomainParams params;
+  params.sa_noise_sigma = 0.0;  // isolate the current-mismatch mechanism
+  params.sh_noise_sigma = 0.0;
+  params.timing_jitter_rel = 0.0;
+  Rng rng(207);
+  std::vector<std::size_t> counts{150, 151, 152, 153};
+  const auto levels = mc_current_levels(params, 256, counts, 3000, rng);
+  EXPECT_LT(count_separated_pairs(levels), counts.size() - 1);
+}
+
+TEST(MonteCarlo, CurrentDomainSeparatesSmallCounts) {
+  CurrentDomainParams params;
+  params.sa_noise_sigma = 0.0;
+  params.sh_noise_sigma = 0.0;
+  params.timing_jitter_rel = 0.0;
+  Rng rng(209);
+  std::vector<std::size_t> counts{2, 3, 4, 5};
+  const auto levels = mc_current_levels(params, 256, counts, 3000, rng);
+  EXPECT_EQ(count_separated_pairs(levels), counts.size() - 1);
+}
+
+}  // namespace
+}  // namespace asmcap

@@ -1,0 +1,122 @@
+#include "align/myers.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/edit_distance.h"
+#include "genome/edits.h"
+
+namespace asmcap {
+namespace {
+
+TEST(Myers, KnownCases) {
+  const auto ed = [](const char* a, const char* b) {
+    return myers_edit_distance(Sequence::from_string(a),
+                               Sequence::from_string(b));
+  };
+  EXPECT_EQ(ed("ACGT", "ACGT"), 0u);
+  EXPECT_EQ(ed("ACGT", "ACGA"), 1u);
+  EXPECT_EQ(ed("ACGT", "AGT"), 1u);
+  EXPECT_EQ(ed("AAAA", "TTTT"), 4u);
+}
+
+TEST(Myers, EmptyInputs) {
+  const Sequence empty;
+  const Sequence s = Sequence::from_string("ACG");
+  EXPECT_EQ(myers_edit_distance(empty, s), 3u);
+  EXPECT_EQ(myers_edit_distance(s, empty), 3u);
+  EXPECT_EQ(myers_edit_distance(empty, empty), 0u);
+}
+
+TEST(Myers, EmptyPatternThrows) {
+  EXPECT_THROW(MyersPattern{Sequence{}}, std::invalid_argument);
+}
+
+/// Property sweep: Myers must agree with the DP reference on random pairs
+/// of every word-boundary-straddling length.
+class MyersAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(MyersAgreement, MatchesDp) {
+  const auto [len_a, seed] = GetParam();
+  Rng rng(seed);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Sequence a = Sequence::random(len_a, rng);
+    const EditedSequence mutated = inject_edits(a, {0.05, 0.03, 0.03}, rng);
+    EXPECT_EQ(myers_edit_distance(a, mutated.seq),
+              edit_distance(a, mutated.seq))
+        << "len=" << len_a;
+    // And on unrelated pairs.
+    const Sequence b = Sequence::random(len_a, rng);
+    EXPECT_EQ(myers_edit_distance(a, b), edit_distance(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lengths, MyersAgreement,
+    ::testing::Values(std::make_tuple(std::size_t{1}, std::size_t{100}),
+                      std::make_tuple(std::size_t{7}, std::size_t{101}),
+                      std::make_tuple(std::size_t{63}, std::size_t{102}),
+                      std::make_tuple(std::size_t{64}, std::size_t{103}),
+                      std::make_tuple(std::size_t{65}, std::size_t{104}),
+                      std::make_tuple(std::size_t{127}, std::size_t{105}),
+                      std::make_tuple(std::size_t{128}, std::size_t{106}),
+                      std::make_tuple(std::size_t{129}, std::size_t{107}),
+                      std::make_tuple(std::size_t{256}, std::size_t{108}),
+                      std::make_tuple(std::size_t{300}, std::size_t{109})));
+
+TEST(Myers, UnequalLengths) {
+  Rng rng(61);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Sequence a = Sequence::random(1 + rng.below(150), rng);
+    const Sequence b = Sequence::random(1 + rng.below(150), rng);
+    EXPECT_EQ(myers_edit_distance(a, b), edit_distance(a, b));
+  }
+}
+
+TEST(Myers, WithinThreshold) {
+  Rng rng(63);
+  const Sequence a = Sequence::random(256, rng);
+  const EditedSequence mutated = inject_edits(a, {0.02, 0.0, 0.0}, rng);
+  const MyersPattern pattern(a);
+  const std::size_t exact = edit_distance(a, mutated.seq);
+  EXPECT_TRUE(pattern.within(mutated.seq, exact));
+  if (exact > 0) {
+    EXPECT_FALSE(pattern.within(mutated.seq, exact - 1));
+  }
+}
+
+TEST(Myers, SemiGlobalFindsEmbeddedPattern) {
+  Rng rng(65);
+  const Sequence text = Sequence::random(2000, rng);
+  const Sequence pattern_seq = text.subseq(700, 150);
+  const MyersPattern pattern(pattern_seq);
+  std::size_t end = 0;
+  EXPECT_EQ(pattern.best_semiglobal(text, &end), 0u);
+  EXPECT_EQ(end, 850u);
+}
+
+TEST(Myers, SemiGlobalWithErrors) {
+  Rng rng(67);
+  const Sequence text = Sequence::random(3000, rng);
+  Sequence pattern_seq = text.subseq(1200, 200);
+  // Three substitutions.
+  for (std::size_t pos : {std::size_t{10}, std::size_t{100}, std::size_t{190}})
+    pattern_seq.set(pos, complement(pattern_seq[pos]));
+  const MyersPattern pattern(pattern_seq);
+  std::size_t end = 0;
+  const std::size_t best = pattern.best_semiglobal(text, &end);
+  EXPECT_LE(best, 3u);
+  EXPECT_NEAR(static_cast<double>(end), 1400.0, 4.0);
+}
+
+TEST(Myers, SemiGlobalNoMatchCostsPatternLength) {
+  // Pattern absent: best is still bounded by pattern length (all inserts).
+  const Sequence text = Sequence::from_string("AAAAAAAAAA");
+  const MyersPattern pattern(Sequence::from_string("CCCC"));
+  EXPECT_LE(pattern.best_semiglobal(text), 4u);
+}
+
+}  // namespace
+}  // namespace asmcap

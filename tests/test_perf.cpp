@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "perf/comparison.h"
+#include "perf/system_model.h"
+
+namespace asmcap {
+namespace {
+
+class SystemModelTest : public ::testing::Test {
+ protected:
+  SystemModel model_{AsmcapConfig{}};
+  PerfWorkload workload_;
+};
+
+TEST_F(SystemModelTest, AllSystemsEstimated) {
+  const auto estimates = model_.estimate_all(workload_);
+  ASSERT_EQ(estimates.size(), 6u);
+  for (const PerfEstimate& estimate : estimates) {
+    EXPECT_GT(estimate.seconds_per_read, 0.0) << estimate.system;
+    EXPECT_GT(estimate.joules_per_read, 0.0) << estimate.system;
+  }
+}
+
+TEST_F(SystemModelTest, Fig8SpeedOrdering) {
+  // The who-wins shape of Fig. 8: CM-CPU slowest, then ReSMA, SaVI, EDAM,
+  // then the ASMCap variants (base faster than full).
+  const auto e = model_.estimate_all(workload_);
+  EXPECT_GT(e[0].seconds_per_read, e[1].seconds_per_read);  // CPU > ReSMA
+  EXPECT_GT(e[1].seconds_per_read, e[2].seconds_per_read);  // ReSMA > SaVI
+  EXPECT_GT(e[2].seconds_per_read, e[3].seconds_per_read);  // SaVI > EDAM
+  EXPECT_GT(e[3].seconds_per_read, e[4].seconds_per_read);  // EDAM > base
+  EXPECT_GT(e[5].seconds_per_read, e[4].seconds_per_read);  // full > base
+}
+
+TEST_F(SystemModelTest, Fig8EnergyOrdering) {
+  const auto e = model_.estimate_all(workload_);
+  EXPECT_GT(e[0].joules_per_read, e[1].joules_per_read);
+  EXPECT_GT(e[1].joules_per_read, e[2].joules_per_read);
+  EXPECT_GT(e[2].joules_per_read, e[3].joules_per_read);
+  EXPECT_GT(e[3].joules_per_read, e[4].joules_per_read);
+}
+
+TEST_F(SystemModelTest, PaperRatioShapes) {
+  // Not exact paper numbers (our substrate differs) but the right orders
+  // of magnitude: EDAM/ASMCap-base speedup ~2-3x, energy ~20-30x; SaVI and
+  // ReSMA two to four orders behind.
+  const auto e = model_.estimate_all(workload_);
+  const double edam_speed = e[3].seconds_per_read / e[4].seconds_per_read;
+  EXPECT_NEAR(edam_speed, 2.67, 0.3);
+  const double edam_energy = e[3].joules_per_read / e[4].joules_per_read;
+  EXPECT_GT(edam_energy, 10.0);
+  EXPECT_LT(edam_energy, 60.0);
+  const double savi_speed = e[2].seconds_per_read / e[4].seconds_per_read;
+  EXPECT_GT(savi_speed, 30.0);
+  const double resma_speed = e[1].seconds_per_read / e[4].seconds_per_read;
+  EXPECT_GT(resma_speed, 100.0);
+  const double cpu_speed = e[0].seconds_per_read / e[4].seconds_per_read;
+  EXPECT_GT(cpu_speed, 1e4);
+}
+
+TEST_F(SystemModelTest, FullStrategyOverheadScales) {
+  PerfWorkload heavy = workload_;
+  heavy.asmcap_full_searches = 3.0;
+  const auto base = model_.estimate(AsmSystem::AsmcapFull, workload_);
+  const auto more = model_.estimate(AsmSystem::AsmcapFull, heavy);
+  EXPECT_NEAR(more.seconds_per_read / base.seconds_per_read, 1.5, 1e-9);
+}
+
+TEST(PerfLedger, RatioMath) {
+  PerfEstimate fast{"fast", 1e-9, 1e-12};
+  PerfEstimate slow{"slow", 1e-6, 1e-8};
+  const PerfRatio r = ratio(fast, slow);
+  EXPECT_NEAR(r.speedup, 1000.0, 1e-6);
+  EXPECT_NEAR(r.energy_efficiency, 1e4, 1e-6);
+  EXPECT_THROW(ratio(PerfEstimate{"zero", 0.0, 0.0}, slow),
+               std::invalid_argument);
+  EXPECT_NEAR(fast.reads_per_second(), 1e9, 1.0);
+  EXPECT_NEAR(fast.reads_per_joule(), 1e12, 1.0);
+}
+
+TEST(Comparison, NormalizeToFirst) {
+  std::vector<PerfEstimate> estimates{{"base", 1e-3, 1e-3},
+                                      {"fast", 1e-6, 1e-5}};
+  const auto rows = normalize_to_first(estimates);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 1.0);
+  EXPECT_NEAR(rows[1].speedup, 1000.0, 1e-6);
+  EXPECT_NEAR(rows[1].energy_efficiency, 100.0, 1e-6);
+  EXPECT_THROW(normalize_to_first({}), std::invalid_argument);
+}
+
+TEST(Comparison, RatiosAgainstSubject) {
+  std::vector<PerfEstimate> estimates{{"a", 1e-3, 1e-3},
+                                      {"b", 1e-4, 1e-4},
+                                      {"c", 1e-6, 1e-6}};
+  const auto rows = ratios_against(estimates, 2);  // subject = "c"
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].system, "a");
+  EXPECT_NEAR(rows[0].speedup, 1000.0, 1e-6);
+  EXPECT_NEAR(rows[1].speedup, 100.0, 1e-6);
+  EXPECT_THROW(ratios_against(estimates, 5), std::out_of_range);
+}
+
+TEST(Comparison, TableRendering) {
+  std::vector<ComparisonRow> rows{{"x", 2.0, 3.0, 1e-9, 1e-12}};
+  const Table table = comparison_table(rows);
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NE(table.to_text().find("2.0x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asmcap

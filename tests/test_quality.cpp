@@ -1,0 +1,126 @@
+#include "genome/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "genome/reference.h"
+
+namespace asmcap {
+namespace {
+
+TEST(Phred, Conversions) {
+  EXPECT_NEAR(phred_to_error('!' + 10), 0.1, 1e-12);   // Q10
+  EXPECT_NEAR(phred_to_error('!' + 30), 0.001, 1e-12); // Q30
+  EXPECT_EQ(error_to_phred(0.1), '!' + 10);
+  EXPECT_EQ(error_to_phred(0.001), '!' + 30);
+  EXPECT_EQ(error_to_phred(1.0), '!');
+  EXPECT_EQ(error_to_phred(0.0), '!' + 41);  // capped
+  EXPECT_THROW(phred_to_error(' '), std::invalid_argument);
+}
+
+TEST(Phred, RoundTripWithinRounding) {
+  for (int q = 2; q <= 40; ++q) {
+    const char c = static_cast<char>('!' + q);
+    EXPECT_EQ(error_to_phred(phred_to_error(c)), c);
+  }
+}
+
+TEST(QualityProfile, LinearDecay) {
+  const QualityProfile profile{40.0, 20.0};
+  EXPECT_DOUBLE_EQ(profile.phred_at(0.0), 40.0);
+  EXPECT_DOUBLE_EQ(profile.phred_at(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(profile.phred_at(0.5), 30.0);
+  EXPECT_GT(profile.error_at(1.0), profile.error_at(0.0));
+}
+
+TEST(QualityProfile, MeanErrorMatchesNumericIntegral) {
+  const QualityProfile profile{38.0, 22.0};
+  double numeric = 0.0;
+  const int steps = 10000;
+  for (int i = 0; i < steps; ++i)
+    numeric += profile.error_at((i + 0.5) / steps);
+  numeric /= steps;
+  EXPECT_NEAR(profile.mean_error(), numeric, numeric * 0.001);
+  // Flat profile edge case.
+  const QualityProfile flat{30.0, 30.0};
+  EXPECT_NEAR(flat.mean_error(), 0.001, 1e-9);
+}
+
+class QualityReadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1001);
+    reference_ = generate_reference(10000, {}, rng);
+  }
+  Sequence reference_;
+};
+
+TEST_F(QualityReadTest, ShapeAndBounds) {
+  Rng rng(1002);
+  const QualityRead read =
+      simulate_quality_read(reference_, 500, 256, {}, rng);
+  EXPECT_EQ(read.read.size(), 256u);
+  EXPECT_EQ(read.quality.size(), 256u);
+  EXPECT_EQ(read.origin, 500u);
+  EXPECT_THROW(simulate_quality_read(reference_, 9900, 256, {}, rng),
+               std::out_of_range);
+}
+
+TEST_F(QualityReadTest, ErrorsClusterAtTail) {
+  Rng rng(1003);
+  const QualityProfile profile{40.0, 12.0};  // strong tail degradation
+  std::size_t head_errors = 0;
+  std::size_t tail_errors = 0;
+  for (int t = 0; t < 200; ++t) {
+    const QualityRead read =
+        simulate_quality_read(reference_, 100, 200, profile, rng);
+    for (std::size_t i = 0; i < 100; ++i)
+      head_errors += read.read[i] != reference_[100 + i] ? 1u : 0u;
+    for (std::size_t i = 100; i < 200; ++i)
+      tail_errors += read.read[i] != reference_[100 + i] ? 1u : 0u;
+  }
+  EXPECT_GT(tail_errors, 4 * head_errors);
+}
+
+TEST_F(QualityReadTest, SubstitutionCounterMatches) {
+  Rng rng(1004);
+  const QualityRead read =
+      simulate_quality_read(reference_, 0, 300, {20.0, 20.0}, rng);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < 300; ++i)
+    mismatches += read.read[i] != reference_[i] ? 1u : 0u;
+  EXPECT_EQ(read.substitutions, mismatches);
+  EXPECT_GT(mismatches, 0u);  // Q20 over 300 bases: ~3 expected
+}
+
+TEST_F(QualityReadTest, EmpiricalRateNearProfileMean) {
+  Rng rng(1005);
+  const QualityProfile profile{30.0, 20.0};
+  std::vector<QualityRead> reads;
+  for (int t = 0; t < 300; ++t)
+    reads.push_back(simulate_quality_read(reference_, 200, 256, profile, rng));
+  const double rate = empirical_substitution_rate(reads, reference_, 256);
+  EXPECT_NEAR(rate, profile.mean_error(), profile.mean_error() * 0.25);
+  EXPECT_EQ(empirical_substitution_rate({}, reference_, 256), 0.0);
+}
+
+TEST_F(QualityReadTest, FastqRoundTrip) {
+  Rng rng(1006);
+  std::vector<QualityRead> reads;
+  reads.push_back(simulate_quality_read(reference_, 10, 64, {}, rng));
+  reads.push_back(simulate_quality_read(reference_, 99, 64, {}, rng));
+  const auto records = to_fastq(reads, "q");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "q0_pos10");
+  std::ostringstream out;
+  write_fastq(out, records);
+  std::istringstream in(out.str());
+  const auto parsed = read_fastq(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1].seq, reads[1].read);
+  EXPECT_EQ(parsed[1].quality, reads[1].quality);
+}
+
+}  // namespace
+}  // namespace asmcap

@@ -1,0 +1,103 @@
+#include "asmcap/readmapper.h"
+
+#include <gtest/gtest.h>
+
+#include "genome/readsim.h"
+#include "genome/reference.h"
+
+namespace asmcap {
+namespace {
+
+class ReadMapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1101);
+    reference_ = generate_reference(64 * 40 + 128, {}, rng);
+    segments_ = segment_reference(reference_, 64);
+    segments_.resize(40);
+    AsmcapConfig config;
+    config.array_rows = 64;
+    config.array_cols = 64;
+    config.array_count = 1;
+    mapper_ = std::make_unique<ReadMapper>(config, segments_, 64);
+    mapper_->set_error_profile(ErrorRates::condition_a());
+  }
+  Sequence reference_;
+  std::vector<Sequence> segments_;
+  std::unique_ptr<ReadMapper> mapper_;
+};
+
+TEST_F(ReadMapperTest, MapsCleanReadToOrigin) {
+  const MappedRead mapped = mapper_->map(segments_[17], 2);
+  ASSERT_TRUE(mapped.mapped);
+  EXPECT_EQ(mapped.segment, 17u);
+  EXPECT_EQ(mapped.reference_pos, 17u * 64);
+  EXPECT_EQ(mapped.edit_distance, 0u);
+  EXPECT_EQ(mapped.alignment.to_string(), "64=");
+}
+
+TEST_F(ReadMapperTest, RecoversAlignmentOfNoisyRead) {
+  Rng rng(1102);
+  Sequence read = segments_[5];
+  read.set(10, substitute_base(read[10], 1.0 / 3.0, rng));
+  read.set(40, substitute_base(read[40], 1.0 / 3.0, rng));
+  const MappedRead mapped = mapper_->map(read, 4);
+  ASSERT_TRUE(mapped.mapped);
+  EXPECT_EQ(mapped.segment, 5u);
+  EXPECT_EQ(mapped.edit_distance, 2u);
+  EXPECT_TRUE(cigar_consistent(mapped.alignment, segments_[5], read));
+}
+
+TEST_F(ReadMapperTest, ForeignReadUnmapped) {
+  Rng rng(1103);
+  const MappedRead mapped = mapper_->map(Sequence::random(64, rng), 4);
+  EXPECT_FALSE(mapped.mapped);
+  EXPECT_EQ(mapped.candidates, 0u);
+}
+
+TEST_F(ReadMapperTest, HostVerificationKillsFalsePositives) {
+  // Even if the accelerator (with noise or ED* hiding) reports spurious
+  // rows, the mapper's exact verification must never return a row whose
+  // true ED exceeds the threshold.
+  Rng rng(1104);
+  for (int t = 0; t < 20; ++t) {
+    Sequence read = segments_[static_cast<std::size_t>(rng.below(40))];
+    for (int e = 0; e < 5; ++e)
+      read.set(rng.below(64), substitute_base(read[0], 1.0 / 3.0, rng));
+    const std::size_t threshold = 3;
+    const MappedRead mapped = mapper_->map(read, threshold);
+    if (mapped.mapped) {
+      EXPECT_LE(mapped.edit_distance, threshold);
+    }
+  }
+}
+
+TEST_F(ReadMapperTest, BatchStatsAggregate) {
+  Rng rng(1105);
+  ReadSimConfig sim_config;
+  sim_config.read_length = 64;
+  sim_config.rates = ErrorRates::condition_a();
+  const ReadSimulator sim(reference_, sim_config);
+  std::vector<Sequence> reads;
+  for (int i = 0; i < 25; ++i)
+    reads.push_back(sim.simulate_at(
+        static_cast<std::size_t>(rng.below(40)) * 64, rng).read);
+  std::vector<MappedRead> mapped;
+  const MappingStats stats = mapper_->map_batch(reads, 4,
+                                                StrategyMode::Full, &mapped);
+  EXPECT_EQ(stats.reads, 25u);
+  EXPECT_EQ(mapped.size(), 25u);
+  EXPECT_GT(stats.mapping_rate(), 0.8);
+  EXPECT_GT(stats.accel_latency_seconds, 0.0);
+  EXPECT_GT(stats.accel_energy_joules, 0.0);
+  EXPECT_GE(stats.mean_candidates(), stats.mapping_rate());
+}
+
+TEST_F(ReadMapperTest, ConstructionValidation) {
+  AsmcapConfig config;
+  EXPECT_THROW(ReadMapper(config, {}, 64), std::invalid_argument);
+  EXPECT_THROW(ReadMapper(config, segments_, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asmcap

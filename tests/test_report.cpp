@@ -1,0 +1,83 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace asmcap {
+namespace {
+
+Fig7Series tiny_series() {
+  Fig7Series series;
+  series.condition = "test condition";
+  Fig7Point point;
+  point.threshold = 3;
+  point.edam = 0.50;
+  point.asmcap_base = 0.60;
+  point.asmcap_hdac = 0.65;
+  point.asmcap_tasr = 0.61;
+  point.asmcap_full = 0.70;
+  point.kraken = 0.25;
+  series.points.push_back(point);
+  point.threshold = 4;
+  point.asmcap_full = 0.80;
+  series.points.push_back(point);
+  return series;
+}
+
+TEST(Report, Fig7TablePercentages) {
+  const Table table = fig7_table(tiny_series());
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 7u);
+  EXPECT_EQ(table.cell(0, 0), "3");
+  EXPECT_EQ(table.cell(0, 1), "50");   // 50 %
+  EXPECT_EQ(table.cell(0, 5), "70");
+  EXPECT_EQ(table.cell(1, 5), "80");
+}
+
+TEST(Report, Fig7NormalizedDividesByKraken) {
+  const Table table = fig7_normalized_table(tiny_series());
+  EXPECT_EQ(table.columns(), 4u);
+  EXPECT_EQ(table.cell(0, 1), "2");    // 0.50 / 0.25
+  EXPECT_EQ(table.cell(0, 3), "2.8");  // 0.70 / 0.25
+}
+
+TEST(Report, SeriesMean) {
+  const Fig7Series series = tiny_series();
+  EXPECT_NEAR(series.mean(&Fig7Point::asmcap_full), 0.75, 1e-12);
+  EXPECT_NEAR(series.mean(&Fig7Point::edam), 0.50, 1e-12);
+  Fig7Series empty;
+  EXPECT_EQ(empty.mean(&Fig7Point::edam), 0.0);
+}
+
+TEST(Report, StatesTable) {
+  StatesResult states;
+  states.edam_states = 44;
+  states.asmcap_states = 566;
+  const Table table = states_table(states);
+  EXPECT_EQ(table.cell(0, 1), "44");
+  EXPECT_EQ(table.cell(1, 1), "566");
+}
+
+TEST(Report, BreakdownTableUnits) {
+  BreakdownResult breakdown;
+  breakdown.area_total = 1.58e-6;
+  breakdown.area_cells_fraction = 0.992;
+  breakdown.power_total = 7.67e-3;
+  breakdown.power_cells_fraction = 0.75;
+  breakdown.power_sr_fraction = 0.19;
+  breakdown.power_sa_fraction = 0.06;
+  const Table table = breakdown_table(breakdown);
+  EXPECT_EQ(table.cell(0, 1), "1.58mm^2");
+  EXPECT_EQ(table.cell(2, 1), "7.67mW");
+}
+
+TEST(Report, PrintWithHeading) {
+  std::ostringstream out;
+  print_report(out, "My Title", states_table({44, 566}));
+  EXPECT_NE(out.str().find("== My Title =="), std::string::npos);
+  EXPECT_NE(out.str().find("566"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asmcap

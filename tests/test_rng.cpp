@@ -1,0 +1,180 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace asmcap {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(rng.next());
+  EXPECT_GT(seen.size(), 30u);  // not stuck
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, trials / 5, trials / 50);
+}
+
+TEST(Rng, BelowThrowsOnZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BetweenCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BetweenThrowsWhenInverted) {
+  Rng rng(1);
+  EXPECT_THROW(rng.between(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonMeanAndZero) {
+  Rng rng(23);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonNegativeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(99);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(99);
+  Rng p2(99);
+  Rng a = p1.fork(7);
+  Rng b = p2.fork(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+}  // namespace
+}  // namespace asmcap

@@ -1,0 +1,105 @@
+#include "baseline/seed_extend.h"
+
+#include <gtest/gtest.h>
+
+#include "align/edit_distance.h"
+#include "baseline/savi.h"
+#include "genome/edits.h"
+#include "genome/reference.h"
+
+namespace asmcap {
+namespace {
+
+class SeedExtendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(901);
+    const Sequence reference = generate_reference(128 * 18 + 256, {}, rng);
+    rows_ = segment_reference(reference, 128);
+    rows_.resize(18);
+    baseline_.index_rows(rows_);
+  }
+  std::vector<Sequence> rows_;
+  SeedExtendBaseline baseline_;
+};
+
+TEST_F(SeedExtendTest, FindsCleanRead) {
+  const auto decisions = baseline_.decide_rows(rows_[7], 2);
+  EXPECT_TRUE(decisions[7]);
+  EXPECT_GE(baseline_.last_candidates(), 1u);
+}
+
+TEST_F(SeedExtendTest, VerificationIsExactOnCandidates) {
+  Rng rng(903);
+  const EditedSequence edited =
+      inject_edits(rows_[4], {0.02, 0.005, 0.005}, rng);
+  for (std::size_t t : {std::size_t{1}, std::size_t{4}, std::size_t{10}}) {
+    const auto decisions = baseline_.decide_rows(edited.seq, t);
+    // Row 4 certainly seeds (shares long exact stretches); its decision
+    // must equal the exact banded verdict.
+    EXPECT_EQ(decisions[4],
+              banded_edit_distance(rows_[4], edited.seq, t).within_band)
+        << "t=" << t;
+  }
+}
+
+TEST_F(SeedExtendTest, RejectsForeignReads) {
+  Rng rng(905);
+  const Sequence foreign = Sequence::random(128, rng);
+  const auto decisions = baseline_.decide_rows(foreign, 8);
+  for (bool d : decisions) EXPECT_FALSE(d);
+}
+
+TEST_F(SeedExtendTest, MoreAccurateThanVotingUnderHeavyErrors) {
+  // Seed-and-extend verifies candidates exactly, so it tolerates error
+  // levels that break the vote threshold (the accuracy/throughput
+  // trade-off of §II-B).
+  SaviBaseline savi;
+  savi.index_rows(rows_);
+  Rng rng(907);
+  std::size_t extend_hits = 0;
+  std::size_t vote_hits = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const EditedSequence edited = inject_edits(rows_[2], {0.12, 0.0, 0.0}, rng);
+    const std::size_t threshold = 24;
+    if (baseline_.decide_rows(edited.seq, threshold)[2]) ++extend_hits;
+    if (savi.decide_rows(edited.seq)[2]) ++vote_hits;
+  }
+  EXPECT_GE(extend_hits, vote_hits);
+  EXPECT_GT(extend_hits, trials / 2);
+}
+
+TEST_F(SeedExtendTest, CandidateCapRespected) {
+  SeedExtendConfig config;
+  config.max_candidates = 2;
+  SeedExtendBaseline capped(config);
+  // Make every row identical so all rows seed on any read.
+  std::vector<Sequence> same(10, rows_[0]);
+  capped.index_rows(same);
+  capped.decide_rows(rows_[0], 2);
+  EXPECT_LE(capped.last_candidates(), 3u);  // cap + the breaking increment
+}
+
+TEST_F(SeedExtendTest, ShortReadSafe) {
+  Rng rng(909);
+  const auto decisions = baseline_.decide_rows(Sequence::random(8, rng), 2);
+  for (bool d : decisions) EXPECT_FALSE(d);
+  EXPECT_EQ(baseline_.last_candidates(), 0u);
+}
+
+TEST(SeedExtendPerf, ScalesWithCandidatesAndLength) {
+  const SeedExtendBaseline baseline;
+  EXPECT_GT(baseline.seconds_per_read(256, 8),
+            baseline.seconds_per_read(256, 1));
+  EXPECT_GT(baseline.seconds_per_read(512, 4),
+            baseline.seconds_per_read(256, 4));
+  EXPECT_GT(baseline.joules_per_read(256, 4), 0.0);
+  // Extension dominates the budget at typical candidate counts: the DP
+  // term must exceed the lookup term for >= 2 candidates.
+  const double lookup_only = baseline.seconds_per_read(256, 0);
+  EXPECT_GT(baseline.seconds_per_read(256, 2) - lookup_only, lookup_only);
+}
+
+}  // namespace
+}  // namespace asmcap

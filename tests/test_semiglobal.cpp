@@ -1,0 +1,92 @@
+#include "align/semiglobal.h"
+
+#include <gtest/gtest.h>
+
+#include "align/edit_distance.h"
+#include "genome/edits.h"
+
+namespace asmcap {
+namespace {
+
+TEST(SemiGlobal, ExactEmbeddedWindow) {
+  Rng rng(91);
+  const Sequence reference = Sequence::random(3000, rng);
+  const Sequence read = reference.subseq(1111, 200);
+  const SemiGlobalHit hit = semiglobal_align(read, reference);
+  EXPECT_EQ(hit.distance, 0u);
+  EXPECT_EQ(hit.end, 1311u);
+  EXPECT_EQ(hit.begin, 1111u);
+}
+
+TEST(SemiGlobal, LocatesMutatedWindow) {
+  Rng rng(93);
+  const Sequence reference = Sequence::random(5000, rng);
+  const Sequence window = reference.subseq(2500, 256);
+  const EditedSequence mutated = inject_edits(window, {0.02, 0.01, 0.01}, rng);
+  const SemiGlobalHit hit = semiglobal_align(mutated.seq, reference);
+  EXPECT_LE(hit.distance, mutated.edits.size());
+  EXPECT_NEAR(static_cast<double>(hit.begin), 2500.0, 8.0);
+}
+
+TEST(SemiGlobal, WindowRestriction) {
+  Rng rng(95);
+  const Sequence reference = Sequence::random(2000, rng);
+  const Sequence read = reference.subseq(500, 100);
+  // Searching only [1000, 2000) must not find the perfect hit at 500.
+  const SemiGlobalHit outside =
+      semiglobal_align_window(read, reference, 1000, 2000);
+  EXPECT_GT(outside.distance, 0u);
+  const SemiGlobalHit inside =
+      semiglobal_align_window(read, reference, 400, 700);
+  EXPECT_EQ(inside.distance, 0u);
+  EXPECT_EQ(inside.begin, 500u);
+  EXPECT_EQ(inside.end, 600u);
+}
+
+TEST(SemiGlobal, EmptyReadThrows) {
+  Rng rng(97);
+  const Sequence reference = Sequence::random(100, rng);
+  EXPECT_THROW(semiglobal_align(Sequence{}, reference), std::invalid_argument);
+}
+
+TEST(SemiGlobal, BadWindowThrows) {
+  Rng rng(99);
+  const Sequence reference = Sequence::random(100, rng);
+  const Sequence read = Sequence::random(10, rng);
+  EXPECT_THROW(semiglobal_align_window(read, reference, 50, 200),
+               std::out_of_range);
+  EXPECT_THROW(semiglobal_align_window(read, reference, 60, 50),
+               std::out_of_range);
+}
+
+TEST(SemiGlobal, DistanceNeverExceedsGlobal) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Sequence reference = Sequence::random(400, rng);
+    const Sequence read = Sequence::random(100, rng);
+    const SemiGlobalHit hit = semiglobal_align(read, reference);
+    EXPECT_LE(hit.distance, edit_distance(read, reference));
+    EXPECT_LE(hit.distance, read.size());
+    EXPECT_LE(hit.begin, hit.end);
+    EXPECT_LE(hit.end, reference.size());
+  }
+}
+
+TEST(SemiGlobal, BeginConsistentWithWindowDistance) {
+  // The reported window [begin, end) must actually align to the read at
+  // (approximately) the reported distance.
+  Rng rng(103);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Sequence reference = Sequence::random(1500, rng);
+    const Sequence window = reference.subseq(600, 128);
+    const EditedSequence mutated = inject_edits(window, {0.03, 0.01, 0.01}, rng);
+    const SemiGlobalHit hit = semiglobal_align(mutated.seq, reference);
+    ASSERT_LE(hit.begin, hit.end);
+    const Sequence found =
+        reference.subseq(hit.begin, hit.end - hit.begin);
+    EXPECT_EQ(edit_distance(mutated.seq, found), hit.distance);
+  }
+}
+
+}  // namespace
+}  // namespace asmcap

