@@ -77,6 +77,16 @@ void BM_EdStar(benchmark::State& state) {
 }
 BENCHMARK(BM_EdStar);
 
+void BM_EdStarPacked(benchmark::State& state) {
+  // The word-parallel kernel behind the FunctionalBackend.
+  const Sequence a = random_seq(256, 11);
+  const Sequence b = random_seq(256, 12);
+  const auto pa = a.packed_words();
+  const auto pb = b.packed_words();
+  for (auto _ : state) benchmark::DoNotOptimize(ed_star_packed(pa, pb, 256));
+}
+BENCHMARK(BM_EdStarPacked);
+
 void BM_CamArraySearch(benchmark::State& state) {
   Rng rng(13);
   CamArray array(256, 256);
@@ -107,6 +117,53 @@ void BM_AcceleratorQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256);  // rows per query
 }
 BENCHMARK(BM_AcceleratorQuery);
+
+void BM_AcceleratorQueryFunctional(benchmark::State& state) {
+  // Same query through the FunctionalBackend (word-parallel kernels,
+  // nominal analytic energy) — the fast path for large sweeps.
+  AsmcapConfig config;
+  config.array_rows = 256;
+  config.array_cols = 256;
+  config.array_count = 1;
+  AsmcapAccelerator accel(config);
+  Rng rng(14);
+  const Sequence reference = generate_reference(256 * 257 + 512, {}, rng);
+  auto segments = segment_reference(reference, 256);
+  segments.resize(256);
+  accel.load_reference(segments);
+  accel.set_error_profile(ErrorRates::condition_a());
+  accel.set_backend(BackendKind::Functional);
+  const Sequence read = segments[100];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(accel.search(read, 4, StrategyMode::Full));
+  state.SetItemsProcessed(state.iterations() * 256);  // rows per query
+}
+BENCHMARK(BM_AcceleratorQueryFunctional);
+
+void BM_SearchBatchFunctional(benchmark::State& state) {
+  // Whole-batch throughput of the batched engine (worker count = arg).
+  AsmcapConfig config;
+  config.array_rows = 256;
+  config.array_cols = 256;
+  config.array_count = 1;
+  AsmcapAccelerator accel(config);
+  Rng rng(15);
+  const Sequence reference = generate_reference(256 * 257 + 512, {}, rng);
+  auto segments = segment_reference(reference, 256);
+  segments.resize(256);
+  accel.load_reference(segments);
+  accel.set_error_profile(ErrorRates::condition_a());
+  accel.set_backend(BackendKind::Functional);
+  std::vector<Sequence> reads;
+  for (int i = 0; i < 64; ++i)
+    reads.push_back(segments[static_cast<std::size_t>(rng.below(256))]);
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        accel.search_batch(reads, 4, StrategyMode::Full, workers));
+  state.SetItemsProcessed(state.iterations() * reads.size());
+}
+BENCHMARK(BM_SearchBatchFunctional)->Arg(1)->Arg(4);
 
 }  // namespace
 

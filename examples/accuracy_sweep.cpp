@@ -11,6 +11,7 @@
 
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace asmcap;
@@ -40,6 +41,10 @@ int main(int argc, char** argv) {
 
   Fig7Config fig7;
   fig7.asmcap.array_rows = rows;
+  // Signals precompute and thresholds replay across all available cores;
+  // every threshold forks its own noise stream, so the numbers are
+  // worker-count independent.
+  fig7.workers = ThreadPool::hardware_workers();
   const Fig7Runner runner(fig7);
 
   std::vector<std::size_t> thresholds;

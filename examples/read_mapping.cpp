@@ -3,7 +3,10 @@
 // the deployment shape of the accelerator. Prints per-read mapping records
 // (position, exact ED, CIGAR) and aggregate statistics.
 //
-//   ./read_mapping [reads] [threshold]
+// Both the accelerator filter and the host verification fan out across a
+// worker pool; results are identical for any worker count.
+//
+//   ./read_mapping [reads] [threshold] [workers]
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +23,8 @@ int main(int argc, char** argv) {
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 24;
   const std::size_t threshold =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 6;
+  const std::size_t workers =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
   Rng rng(0x4EAD'3A99);
 
   // Reference and mapper.
@@ -50,7 +55,7 @@ int main(int argc, char** argv) {
 
   std::vector<MappedRead> mapped;
   const MappingStats stats =
-      mapper.map_batch(reads, threshold, StrategyMode::Full, &mapped);
+      mapper.map_batch(reads, threshold, StrategyMode::Full, &mapped, workers);
 
   Table table({"read", "true pos", "mapped pos", "ED", "CIGAR (head)"});
   for (std::size_t i = 0; i < mapped.size(); ++i) {

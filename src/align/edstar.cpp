@@ -1,6 +1,8 @@
 #include "align/edstar.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 namespace asmcap {
@@ -46,6 +48,43 @@ bool ed_star_within(const Sequence& stored, const Sequence& read,
       return false;
   }
   return true;
+}
+
+std::size_t ed_star_packed(const std::vector<std::uint64_t>& stored,
+                           const std::vector<std::uint64_t>& read,
+                           std::size_t n) {
+  // Lane i (bits 2i, 2i+1) holds one base; kLanes selects the low bit of
+  // every lane, where the equality tests below leave their result.
+  constexpr std::uint64_t kLanes = 0x5555555555555555ULL;
+  const auto eq = [](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t x = a ^ b;
+    return ~(x | (x >> 1)) & kLanes;
+  };
+  const std::size_t words = (n + 31) / 32;
+  std::size_t mismatches = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t q = stored[w];
+    const std::uint64_t r = read[w];
+    // R[i-1] aligned into lane i (shift up one lane, carry across words).
+    const std::uint64_t r_prev = (r << 2) | (w > 0 ? read[w - 1] >> 62 : 0);
+    // R[i+1] aligned into lane i (shift down one lane).
+    const std::uint64_t r_next =
+        (r >> 2) | (w + 1 < words ? read[w + 1] << 62 : 0);
+
+    std::uint64_t left = eq(q, r_prev);
+    if (w == 0) left &= ~std::uint64_t{1};  // cell 0 has no left neighbour
+    std::uint64_t right = eq(q, r_next);
+    if (w == (n - 1) / 32)                  // cell n-1 has no right neighbour
+      right &= ~(std::uint64_t{1} << (2 * ((n - 1) % 32)));
+
+    const std::uint64_t match = eq(q, r) | left | right;
+    std::uint64_t valid = kLanes;
+    if (w + 1 == words && n % 32 != 0)
+      valid &= (std::uint64_t{1} << (2 * (n % 32))) - 1;
+    mismatches +=
+        static_cast<std::size_t>(std::popcount(~match & valid));
+  }
+  return mismatches;
 }
 
 std::vector<Sequence> rotation_schedule(const Sequence& read,

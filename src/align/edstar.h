@@ -31,6 +31,14 @@ BitVec ed_star_mismatch_mask(const Sequence& stored, const Sequence& read);
 bool ed_star_within(const Sequence& stored, const Sequence& read,
                     std::size_t threshold);
 
+/// Word-parallel ED* over 2-bit packed operands (Sequence::packed_words):
+/// identical to ed_star() while processing 32 cells per word. `n` is the
+/// common sequence length; both vectors must hold ceil(n/32) words with
+/// zeroed tail bits. This is the kernel behind the FunctionalBackend.
+std::size_t ed_star_packed(const std::vector<std::uint64_t>& stored,
+                           const std::vector<std::uint64_t>& read,
+                           std::size_t n);
+
 /// Rotation direction for sequence-rotation strategies.
 enum class RotateDir { Left, Right, Both };
 

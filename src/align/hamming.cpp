@@ -1,5 +1,7 @@
 #include "align/hamming.h"
 
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 namespace asmcap {
@@ -31,6 +33,20 @@ bool hamming_within(const Sequence& a, const Sequence& b,
     if (a[i] != b[i] && ++distance > threshold) return false;
   }
   return true;
+}
+
+std::size_t hamming_packed(const std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b,
+                           std::size_t n) {
+  constexpr std::uint64_t kLanes = 0x5555555555555555ULL;
+  const std::size_t words = (n + 31) / 32;
+  std::size_t distance = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t x = a[w] ^ b[w];
+    // Tail lanes of both operands are zero, so they never contribute.
+    distance += static_cast<std::size_t>(std::popcount((x | (x >> 1)) & kLanes));
+  }
+  return distance;
 }
 
 }  // namespace asmcap

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cam/periphery.h"
+#include "util/thread_pool.h"
 
 namespace asmcap {
 
@@ -33,6 +34,10 @@ void AsmcapAccelerator::load_reference(const std::vector<Sequence>& segments) {
     units_[locations[i].array].write_row(locations[i].row, segments[i]);
   segments_loaded_ = segments.size();
 
+  circuit_backend_ = std::make_unique<CircuitBackend>(
+      units_, mapper_, segments_loaded_, config_.array_rows);
+  functional_backend_ = std::make_unique<FunctionalBackend>(segments, config_);
+
   // One-time load cost: every row write burns decoder+WL+SRAM energy; the
   // arrays write their rows in parallel, so the latency is set by the
   // fullest array.
@@ -45,57 +50,51 @@ void AsmcapAccelerator::load_reference(const std::vector<Sequence>& segments) {
       static_cast<double>(rows_in_fullest) * write_cost.latency_per_row;
 }
 
-std::vector<bool> AsmcapAccelerator::pass(const Sequence& read, MatchMode mode,
-                                          std::size_t threshold) {
-  std::vector<bool> decisions(segments_loaded_, false);
-  for (std::size_t a = 0; a < units_.size(); ++a) {
-    const RawSearch raw = units_[a].search_raw(read, mode);
-    for (std::size_t r = 0; r < config_.array_rows; ++r) {
-      const auto segment = mapper_.segment_at(a, r);
-      if (!segment) continue;
-      decisions[*segment] =
-          units_[a].decide(raw.counts[r], raw.vml[r], threshold, rng_);
-    }
-  }
-  return decisions;
+const ExecutionBackend& AsmcapAccelerator::backend() const {
+  if (segments_loaded_ == 0)
+    throw std::logic_error("AsmcapAccelerator: no reference loaded");
+  if (backend_kind_ == BackendKind::Functional) return *functional_backend_;
+  return *circuit_backend_;
 }
 
-QueryResult AsmcapAccelerator::search(const Sequence& read,
-                                      std::size_t threshold,
-                                      StrategyMode mode) {
+void AsmcapAccelerator::check_read(const Sequence& read) const {
   if (segments_loaded_ == 0)
     throw std::logic_error("AsmcapAccelerator: no reference loaded");
   if (read.size() != config_.array_cols)
     throw std::invalid_argument("AsmcapAccelerator: read width mismatch");
+}
 
-  const double energy_before = [&] {
-    double total = 0.0;
-    for (const auto& unit : units_) total += unit.consumed_energy();
-    return total;
-  }();
+QueryResult AsmcapAccelerator::execute_plan(const ExecutionPlan& plan,
+                                            Rng& rng) const {
+  const ExecutionBackend& backend = this->backend();
 
   QueryResult result;
-  result.plan = controller_.plan(threshold, rates_, mode);
+  result.plan = plan.summary;
 
   // ED* pass(es): the original read, plus the rotation schedule when TASR
   // triggered (Algorithm 2's OR-accumulation).
-  std::vector<bool> ed_star = pass(read, MatchMode::EdStar, threshold);
-  if (result.plan.tasr_triggered) {
-    for (const Sequence& rotated : controller_.tasr().schedule(read)) {
-      if (rotated == read) continue;  // original already searched
-      const std::vector<bool> extra =
-          pass(rotated, MatchMode::EdStar, threshold);
+  std::vector<bool> ed_star;
+  double energy = 0.0;
+  for (std::size_t p = 0; p < plan.ed_star_passes.size(); ++p) {
+    PassResult pass = backend.run_pass(plan.ed_star_passes[p],
+                                       MatchMode::EdStar, plan.threshold, rng);
+    energy += pass.energy_joules;
+    if (p == 0) {
+      ed_star = std::move(pass.decisions);
+    } else {
       for (std::size_t g = 0; g < ed_star.size(); ++g)
-        ed_star[g] = ed_star[g] || extra[g];
+        ed_star[g] = ed_star[g] || pass.decisions[g];
     }
   }
 
   // HDAC pass: HD search and probabilistic selection (Algorithm 1).
-  if (result.plan.hd_search) {
-    const std::vector<bool> hd = pass(read, MatchMode::Hamming, threshold);
+  if (plan.hd_pass) {
+    const PassResult hd = backend.run_pass(
+        plan.ed_star_passes.front(), MatchMode::Hamming, plan.threshold, rng);
+    energy += hd.energy_joules;
+    const Hdac& hdac = planner().hdac();
     for (std::size_t g = 0; g < ed_star.size(); ++g)
-      ed_star[g] = controller_.hdac().combine(hd[g], ed_star[g],
-                                              result.plan.hdac_p, rng_);
+      ed_star[g] = hdac.combine(hd.decisions[g], ed_star[g], plan.hdac_p, rng);
   }
 
   result.decisions = std::move(ed_star);
@@ -103,12 +102,52 @@ QueryResult AsmcapAccelerator::search(const Sequence& read,
     if (result.decisions[g]) result.matched_segments.push_back(g);
 
   result.latency_seconds =
-      timing_.asmcap_query_latency(result.plan.total_searches());
-  double energy_after = 0.0;
-  for (const auto& unit : units_) energy_after += unit.consumed_energy();
-  result.energy_joules = energy_after - energy_before;
-  controller_.record(result.plan, result.latency_seconds, result.energy_joules);
+      timing_.asmcap_query_latency(plan.summary.total_searches());
+  result.energy_joules = energy;
   return result;
+}
+
+QueryResult AsmcapAccelerator::search(const Sequence& read,
+                                      std::size_t threshold,
+                                      StrategyMode mode) {
+  check_read(read);
+  const ExecutionPlan plan = planner().build(read, threshold, rates_, mode);
+  QueryResult result = execute_plan(plan, rng_);
+  controller_.record(result.plan, result.latency_seconds,
+                     result.energy_joules);
+  return result;
+}
+
+std::vector<QueryResult> AsmcapAccelerator::search_batch(
+    const std::vector<Sequence>& reads, std::size_t threshold,
+    StrategyMode mode, std::size_t workers) {
+  for (const Sequence& read : reads) check_read(read);
+  if (reads.empty()) {
+    if (segments_loaded_ == 0)
+      throw std::logic_error("AsmcapAccelerator: no reference loaded");
+    return {};
+  }
+
+  // Per-read streams are forked from the current RNG state and a batch
+  // epoch: deterministic in read index, independent of worker count, and
+  // non-perturbing (fork() leaves rng_ untouched, so a batch never shifts
+  // the sequential search() stream).
+  const std::uint64_t epoch = ++batch_epoch_;
+
+  std::vector<QueryResult> results(reads.size());
+  ThreadPool pool(workers);
+  pool.parallel_for(reads.size(), [&](std::size_t i) {
+    const ExecutionPlan plan =
+        planner().build(reads[i], threshold, rates_, mode);
+    Rng query_rng = rng_.fork((epoch << 32) | static_cast<std::uint64_t>(i));
+    results[i] = execute_plan(plan, query_rng);
+  });
+
+  // Ledger totals are recorded sequentially in read order.
+  for (const QueryResult& result : results)
+    controller_.record(result.plan, result.latency_seconds,
+                       result.energy_joules);
+  return results;
 }
 
 }  // namespace asmcap

@@ -1,16 +1,28 @@
 #pragma once
 // Top-level ASMCap accelerator (paper Fig. 4a): global buffer + controller
-// + a bank of ASMCap arrays. Reference segments are loaded once; reads are
-// then searched in parallel against every stored row with the configured
-// correction strategies.
+// + a bank of ASMCap arrays, structured as a layered execution engine:
+//
+//   QueryPlanner  — turns (read, T, mode) into an immutable ExecutionPlan
+//   ExecutionBackend — runs the plan's passes (cell-accurate CircuitBackend
+//                      or the fast FunctionalBackend)
+//   batch engine  — fans a batch of reads across a worker pool with
+//                   deterministic per-read RNG forking, so search_batch
+//                   results are identical for any worker count
+//
+// Reference segments are loaded once; reads are then searched in parallel
+// against every stored row with the configured correction strategies.
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "asmcap/array_unit.h"
+#include "asmcap/backend.h"
 #include "asmcap/config.h"
 #include "asmcap/controller.h"
 #include "asmcap/mapper.h"
+#include "asmcap/planner.h"
 #include "circuit/timing.h"
 #include "genome/edits.h"
 #include "genome/sequence.h"
@@ -33,6 +45,11 @@ class AsmcapAccelerator {
  public:
   explicit AsmcapAccelerator(AsmcapConfig config);
 
+  // Not movable: CircuitBackend holds pointers into units_ and mapper_,
+  // which a move would leave dangling.
+  AsmcapAccelerator(AsmcapAccelerator&&) = delete;
+  AsmcapAccelerator& operator=(AsmcapAccelerator&&) = delete;
+
   /// Loads reference segments (each must match the array width). May be
   /// called once; capacity is array_count x array_rows segments.
   void load_reference(const std::vector<Sequence>& segments);
@@ -42,9 +59,28 @@ class AsmcapAccelerator {
   void set_error_profile(const ErrorRates& rates) { rates_ = rates; }
   const ErrorRates& error_profile() const { return rates_; }
 
+  /// Selects the execution backend for subsequent searches. The circuit
+  /// backend (default) is cell-accurate; the functional backend computes
+  /// the same decisions (identically under ideal_sensing) an order of
+  /// magnitude faster. May be switched at any time.
+  void set_backend(BackendKind kind) { backend_kind_ = kind; }
+  BackendKind backend_kind() const { return backend_kind_; }
+  /// The active backend (valid after load_reference).
+  const ExecutionBackend& backend() const;
+
   /// Searches one read against every loaded segment.
   QueryResult search(const Sequence& read, std::size_t threshold,
                      StrategyMode mode);
+
+  /// Searches a batch of reads, fanning them across `workers` threads.
+  /// Each read draws from its own deterministically forked RNG stream, so
+  /// the results are identical for any worker count (and never perturb the
+  /// accelerator's sequential RNG state). Ledger totals are recorded in
+  /// read order.
+  std::vector<QueryResult> search_batch(const std::vector<Sequence>& reads,
+                                        std::size_t threshold,
+                                        StrategyMode mode,
+                                        std::size_t workers = 1);
 
   std::size_t loaded_segments() const { return segments_loaded_; }
   std::size_t arrays_in_use() const { return mapper_.arrays_in_use(); }
@@ -55,13 +91,15 @@ class AsmcapAccelerator {
   const AsmcapConfig& config() const { return config_; }
   const Controller& controller() const { return controller_; }
   Controller& controller() { return controller_; }
+  const QueryPlanner& planner() const { return controller_.planner(); }
   const TimingModel& timing() const { return timing_; }
 
  private:
-  /// Runs one ED*/HD pass over all in-use arrays; returns per-global-segment
-  /// match decisions at the threshold.
-  std::vector<bool> pass(const Sequence& read, MatchMode mode,
-                         std::size_t threshold);
+  /// Runs one materialised plan on the active backend. Thread-safe: every
+  /// mutable per-query state (the RNG, the result) is owned by the caller.
+  QueryResult execute_plan(const ExecutionPlan& plan, Rng& rng) const;
+
+  void check_read(const Sequence& read) const;
 
   AsmcapConfig config_;
   ErrorRates rates_ = ErrorRates::condition_a();
@@ -69,9 +107,13 @@ class AsmcapAccelerator {
   Controller controller_;
   TimingModel timing_;
   std::vector<AsmcapArrayUnit> units_;  ///< Only arrays_in_use() are active.
+  std::unique_ptr<CircuitBackend> circuit_backend_;
+  std::unique_ptr<FunctionalBackend> functional_backend_;
+  BackendKind backend_kind_ = BackendKind::Circuit;
   std::size_t segments_loaded_ = 0;
   double load_energy_ = 0.0;
   double load_latency_ = 0.0;
+  std::uint64_t batch_epoch_ = 0;
   Rng rng_;
 };
 

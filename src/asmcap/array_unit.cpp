@@ -16,7 +16,18 @@ void AsmcapArrayUnit::write_row(std::size_t row, const Sequence& segment) {
 }
 
 RawSearch AsmcapArrayUnit::search_raw(const Sequence& read, MatchMode mode) {
+  double energy = 0.0;
+  RawSearch raw = measure(read, mode, &energy);
+  // The mutating path books the pass into the unit's own ledger: the SL
+  // drive plus the per-row matchline energy.
   sl_driver_.drive(read);
+  matchline_energy_ += energy - sl_driver_.drive_energy(read);
+  return raw;
+}
+
+RawSearch AsmcapArrayUnit::measure(const Sequence& read, MatchMode mode,
+                                   double* energy_joules) const {
+  double energy = sl_driver_.drive_energy(read);
   RawSearch raw;
   raw.counts.reserve(rows());
   raw.vml.reserve(rows());
@@ -26,8 +37,9 @@ RawSearch AsmcapArrayUnit::search_raw(const Sequence& read, MatchMode mode) {
     raw.counts.push_back(count);
     raw.vml.push_back(readout_.settle_row(r, mask));
     // Matchline energy per row (paper Eq. 1 with M = 1).
-    matchline_energy_ += readout_.matchline(r).search_energy(count);
+    energy += readout_.matchline(r).search_energy(count);
   }
+  if (energy_joules != nullptr) *energy_joules = energy;
   return raw;
 }
 

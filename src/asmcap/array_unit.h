@@ -41,6 +41,14 @@ class AsmcapArrayUnit {
   /// state, before SA noise). Charges SL-driver and matchline energy.
   RawSearch search_raw(const Sequence& read, MatchMode mode);
 
+  /// Const, thread-safe variant of search_raw: identical physics, but the
+  /// SL-driver + matchline energy of the pass is returned through
+  /// `energy_joules` instead of accumulating into the unit's ledger. This
+  /// is the path the execution backends use so that concurrent batch
+  /// workers never mutate shared silicon state.
+  RawSearch measure(const Sequence& read, MatchMode mode,
+                    double* energy_joules) const;
+
   /// SA decision for one row's settled voltage (per-search noise applied
   /// unless the unit runs in ideal-sensing mode, where count <= T decides).
   bool decide(std::size_t count, double vml, std::size_t threshold,

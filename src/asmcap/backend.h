@@ -1,0 +1,98 @@
+#pragma once
+// Execution backends: the layer between a materialised ExecutionPlan and
+// the per-segment match decisions (engine layering: planner -> backend ->
+// batch engine). Two implementations share one interface:
+//
+//  * CircuitBackend — cell-accurate: every pass walks the manufactured
+//    array units (capacitor mismatch, settled matchline voltages, SA noise
+//    unless ideal_sensing). This is the fidelity path the paper's accuracy
+//    claims rest on.
+//  * FunctionalBackend — fast: the same match decisions computed with the
+//    word-parallel ED*/Hamming kernels and nominal analytic energy, an
+//    order of magnitude faster for large sweeps. Under ideal_sensing the
+//    two backends are decision-identical (enforced by test_engine).
+//
+// run_pass is const and thread-safe: concurrent batch workers share one
+// backend, each supplying its own forked RNG stream.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "asmcap/array_unit.h"
+#include "asmcap/config.h"
+#include "asmcap/mapper.h"
+#include "cam/periphery.h"
+#include "genome/sequence.h"
+#include "util/rng.h"
+
+namespace asmcap {
+
+/// Which execution backend an accelerator routes its passes through.
+enum class BackendKind : std::uint8_t { Circuit, Functional };
+
+const char* to_string(BackendKind kind);
+
+/// Result of one array pass over every loaded segment.
+struct PassResult {
+  std::vector<bool> decisions;  ///< Per global segment, at the threshold.
+  double energy_joules = 0.0;   ///< SL-driver + matchline energy of the pass.
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual const char* name() const = 0;
+  virtual std::size_t segment_count() const = 0;
+
+  /// One search pass: per-global-segment decisions at `threshold`.
+  /// Must be thread-safe; `search_rng` supplies the per-decision SA noise
+  /// (unused by paths that decide ideally).
+  virtual PassResult run_pass(const Sequence& read, MatchMode mode,
+                              std::size_t threshold,
+                              Rng& search_rng) const = 0;
+};
+
+/// Cell-accurate backend wrapping the manufactured AsmcapArrayUnit bank.
+/// Holds non-owning references into the accelerator; the accelerator must
+/// outlive it.
+class CircuitBackend : public ExecutionBackend {
+ public:
+  CircuitBackend(const std::vector<AsmcapArrayUnit>& units,
+                 const ReferenceMapper& mapper, std::size_t segment_count,
+                 std::size_t array_rows);
+
+  const char* name() const override { return "circuit"; }
+  std::size_t segment_count() const override { return segment_count_; }
+  PassResult run_pass(const Sequence& read, MatchMode mode,
+                      std::size_t threshold, Rng& search_rng) const override;
+
+ private:
+  const std::vector<AsmcapArrayUnit>* units_;
+  const ReferenceMapper* mapper_;
+  std::size_t segment_count_;
+  std::size_t array_rows_;
+};
+
+/// Fast functional backend: word-parallel kernels over 2-bit packed
+/// segments, ideal (noise-free) decisions, nominal analytic energy.
+class FunctionalBackend : public ExecutionBackend {
+ public:
+  FunctionalBackend(const std::vector<Sequence>& segments,
+                    const AsmcapConfig& config);
+
+  const char* name() const override { return "functional"; }
+  std::size_t segment_count() const override { return packed_.size(); }
+  PassResult run_pass(const Sequence& read, MatchMode mode,
+                      std::size_t threshold, Rng& search_rng) const override;
+
+ private:
+  std::vector<std::vector<std::uint64_t>> packed_;  ///< Per-segment words.
+  std::size_t cols_;
+  std::size_t arrays_in_use_;
+  ChargeDomainParams charge_;
+  SearchlineDriverParams sl_params_;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,42 @@
+#include "asmcap/backend.h"
+
+namespace asmcap {
+
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Circuit: return "circuit";
+    case BackendKind::Functional: return "functional";
+  }
+  return "?";
+}
+
+CircuitBackend::CircuitBackend(const std::vector<AsmcapArrayUnit>& units,
+                               const ReferenceMapper& mapper,
+                               std::size_t segment_count,
+                               std::size_t array_rows)
+    : units_(&units),
+      mapper_(&mapper),
+      segment_count_(segment_count),
+      array_rows_(array_rows) {}
+
+PassResult CircuitBackend::run_pass(const Sequence& read, MatchMode mode,
+                                    std::size_t threshold,
+                                    Rng& search_rng) const {
+  PassResult result;
+  result.decisions.assign(segment_count_, false);
+  for (std::size_t a = 0; a < units_->size(); ++a) {
+    const AsmcapArrayUnit& unit = (*units_)[a];
+    double pass_energy = 0.0;
+    const RawSearch raw = unit.measure(read, mode, &pass_energy);
+    result.energy_joules += pass_energy;
+    for (std::size_t r = 0; r < array_rows_; ++r) {
+      const auto segment = mapper_->segment_at(a, r);
+      if (!segment) continue;
+      result.decisions[*segment] =
+          unit.decide(raw.counts[r], raw.vml[r], threshold, search_rng);
+    }
+  }
+  return result;
+}
+
+}  // namespace asmcap

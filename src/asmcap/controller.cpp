@@ -2,24 +2,6 @@
 
 namespace asmcap {
 
-QueryPlan Controller::plan(std::size_t threshold, const ErrorRates& rates,
-                           StrategyMode mode) const {
-  QueryPlan plan;
-  if (hdac_active(mode)) {
-    plan.hdac_p = hdac_.probability(rates, threshold);
-    plan.hd_search = hdac_.enabled(rates, threshold);
-    if (!plan.hd_search) plan.hdac_p = 0.0;  // disabled below min_probability
-  }
-  if (tasr_active(mode)) {
-    plan.tasr_tl = tasr_.lower_bound(rates, config_.array_cols);
-    plan.tasr_triggered = tasr_.should_rotate(threshold, rates,
-                                              config_.array_cols);
-    if (plan.tasr_triggered)
-      plan.ed_star_searches = tasr_.schedule_length();
-  }
-  return plan;
-}
-
 void Controller::record(const QueryPlan& plan, double latency_seconds,
                         double energy_joules) {
   ++totals_.queries;

@@ -1,32 +1,14 @@
 #pragma once
-// Controller (paper Fig. 4a): receives host instructions, plans the search
-// operations each read query needs (ED* pass, optional HDAC Hamming pass,
-// optional TASR rotation passes), and keeps the latency/energy/operation
-// ledger the performance evaluation reads.
+// Controller (paper Fig. 4a): receives host instructions, delegates the
+// per-query operation scheduling to the QueryPlanner, and keeps the
+// latency/energy/operation ledger the performance evaluation reads.
 
 #include <cstddef>
-#include <limits>
 
 #include "asmcap/config.h"
-#include "asmcap/hdac.h"
-#include "asmcap/tasr.h"
-#include "genome/edits.h"
+#include "asmcap/planner.h"
 
 namespace asmcap {
-
-/// The operation schedule of one read query.
-struct QueryPlan {
-  std::size_t ed_star_searches = 1;  ///< 1 + rotations when TASR triggers.
-  bool hd_search = false;            ///< HDAC's extra Hamming pass.
-  double hdac_p = 0.0;               ///< Selection probability (0 if off).
-  std::size_t tasr_tl =
-      std::numeric_limits<std::size_t>::max();  ///< Rotation trigger bound.
-  bool tasr_triggered = false;
-
-  std::size_t total_searches() const {
-    return ed_star_searches + (hd_search ? 1u : 0u);
-  }
-};
 
 /// Cumulative execution statistics.
 struct ExecutionTotals {
@@ -40,13 +22,14 @@ struct ExecutionTotals {
 
 class Controller {
  public:
-  Controller(const AsmcapConfig& config)
-      : config_(config), hdac_(config.hdac), tasr_(config.tasr) {}
+  explicit Controller(const AsmcapConfig& config) : planner_(config) {}
 
   /// Plans one query given the workload error profile (pre-processed
   /// offline, as the paper prescribes for both p and T_l).
   QueryPlan plan(std::size_t threshold, const ErrorRates& rates,
-                 StrategyMode mode) const;
+                 StrategyMode mode) const {
+    return planner_.plan(threshold, rates, mode);
+  }
 
   /// Records a completed query in the ledger.
   void record(const QueryPlan& plan, double latency_seconds,
@@ -55,13 +38,12 @@ class Controller {
   const ExecutionTotals& totals() const { return totals_; }
   void reset_totals() { totals_ = {}; }
 
-  const Hdac& hdac() const { return hdac_; }
-  const Tasr& tasr() const { return tasr_; }
+  const QueryPlanner& planner() const { return planner_; }
+  const Hdac& hdac() const { return planner_.hdac(); }
+  const Tasr& tasr() const { return planner_.tasr(); }
 
  private:
-  AsmcapConfig config_;
-  Hdac hdac_;
-  Tasr tasr_;
+  QueryPlanner planner_;
   ExecutionTotals totals_;
 };
 

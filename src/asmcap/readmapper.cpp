@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "align/edit_distance.h"
+#include "util/thread_pool.h"
 
 namespace asmcap {
 
@@ -15,10 +16,9 @@ ReadMapper::ReadMapper(AsmcapConfig config, std::vector<Sequence> segments,
   accelerator_.load_reference(segments_);
 }
 
-MappedRead ReadMapper::map(const Sequence& read, std::size_t threshold,
-                           StrategyMode mode) {
-  const QueryResult result = accelerator_.search(read, threshold, mode);
-
+MappedRead ReadMapper::verify(const Sequence& read, const QueryResult& result,
+                              std::size_t threshold,
+                              std::size_t* dp_cells) const {
   MappedRead out;
   out.candidates = result.matched_segments.size();
   out.accel_latency_seconds = result.latency_seconds;
@@ -27,17 +27,19 @@ MappedRead ReadMapper::map(const Sequence& read, std::size_t threshold,
   // Host verification: exact banded ED on each reported row, keep the best.
   // (The accelerator is a filter; false positives die here, and the exact
   // distance of the winner is recovered.)
+  std::size_t cells = 0;
   std::size_t best_segment = 0;
   std::size_t best_distance = std::numeric_limits<std::size_t>::max();
   for (const std::size_t segment : result.matched_segments) {
     const CappedDistance capped =
         banded_edit_distance(segments_[segment], read, threshold);
-    stats_.host_dp_cells += read.size() * (2 * threshold + 1);
+    cells += read.size() * (2 * threshold + 1);
     if (capped.within_band && capped.distance < best_distance) {
       best_distance = capped.distance;
       best_segment = segment;
     }
   }
+  if (dp_cells != nullptr) *dp_cells = cells;
   if (best_distance == std::numeric_limits<std::size_t>::max()) return out;
 
   out.mapped = true;
@@ -48,18 +50,39 @@ MappedRead ReadMapper::map(const Sequence& read, std::size_t threshold,
   return out;
 }
 
+MappedRead ReadMapper::map(const Sequence& read, std::size_t threshold,
+                           StrategyMode mode) {
+  const QueryResult result = accelerator_.search(read, threshold, mode);
+  std::size_t dp_cells = 0;
+  MappedRead out = verify(read, result, threshold, &dp_cells);
+  stats_.host_dp_cells += dp_cells;
+  return out;
+}
+
 MappingStats ReadMapper::map_batch(const std::vector<Sequence>& reads,
                                    std::size_t threshold, StrategyMode mode,
-                                   std::vector<MappedRead>* out) {
+                                   std::vector<MappedRead>* out,
+                                   std::size_t workers) {
   stats_ = MappingStats{};
-  for (const Sequence& read : reads) {
-    MappedRead mapped = map(read, threshold, mode);
+
+  const std::vector<QueryResult> results =
+      accelerator_.search_batch(reads, threshold, mode, workers);
+
+  std::vector<MappedRead> mapped(reads.size());
+  std::vector<std::size_t> dp_cells(reads.size(), 0);
+  ThreadPool pool(workers);
+  pool.parallel_for(reads.size(), [&](std::size_t i) {
+    mapped[i] = verify(reads[i], results[i], threshold, &dp_cells[i]);
+  });
+
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
     ++stats_.reads;
-    stats_.mapped += mapped.mapped ? 1u : 0u;
-    stats_.total_candidates += mapped.candidates;
-    stats_.accel_latency_seconds += mapped.accel_latency_seconds;
-    stats_.accel_energy_joules += mapped.accel_energy_joules;
-    if (out != nullptr) out->push_back(std::move(mapped));
+    stats_.mapped += mapped[i].mapped ? 1u : 0u;
+    stats_.total_candidates += mapped[i].candidates;
+    stats_.accel_latency_seconds += mapped[i].accel_latency_seconds;
+    stats_.accel_energy_joules += mapped[i].accel_energy_joules;
+    stats_.host_dp_cells += dp_cells[i];
+    if (out != nullptr) out->push_back(std::move(mapped[i]));
   }
   return stats_;
 }

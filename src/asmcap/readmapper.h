@@ -58,11 +58,16 @@ class ReadMapper {
   MappedRead map(const Sequence& read, std::size_t threshold,
                  StrategyMode mode = StrategyMode::Full);
 
-  /// Maps a batch and aggregates statistics.
+  /// Maps a batch and aggregates statistics. The accelerator filter and the
+  /// host verification both fan out across `workers` threads; per-read RNG
+  /// forking keeps the results identical for any worker count.
   MappingStats map_batch(const std::vector<Sequence>& reads,
                          std::size_t threshold,
                          StrategyMode mode = StrategyMode::Full,
-                         std::vector<MappedRead>* out = nullptr);
+                         std::vector<MappedRead>* out = nullptr,
+                         std::size_t workers = 1);
+
+  AsmcapAccelerator& accelerator() { return accelerator_; }
 
   void set_error_profile(const ErrorRates& rates) {
     accelerator_.set_error_profile(rates);
@@ -71,6 +76,12 @@ class ReadMapper {
   std::size_t stride() const { return stride_; }
 
  private:
+  /// Host-side verification of one accelerator result: exact banded ED on
+  /// each reported row, traceback of the winner. Thread-safe; the DP cells
+  /// spent are returned through `dp_cells`.
+  MappedRead verify(const Sequence& read, const QueryResult& result,
+                    std::size_t threshold, std::size_t* dp_cells) const;
+
   AsmcapAccelerator accelerator_;
   std::vector<Sequence> segments_;
   std::size_t stride_;

@@ -2,6 +2,7 @@
 
 #include "align/edit_distance.h"
 #include "align/myers.h"
+#include "util/thread_pool.h"
 
 namespace asmcap {
 
@@ -27,6 +28,17 @@ std::vector<bool> CmCpuBaseline::decide_rows(const Sequence& read,
       break;
     }
   }
+  return decisions;
+}
+
+std::vector<std::vector<bool>> CmCpuBaseline::decide_batch(
+    const std::vector<Sequence>& reads, const std::vector<Sequence>& rows,
+    std::size_t threshold, std::size_t workers) const {
+  std::vector<std::vector<bool>> decisions(reads.size());
+  ThreadPool pool(workers);
+  pool.parallel_for(reads.size(), [&](std::size_t i) {
+    decisions[i] = decide_rows(reads[i], rows, threshold);
+  });
   return decisions;
 }
 

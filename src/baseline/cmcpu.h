@@ -44,6 +44,13 @@ class CmCpuBaseline {
                                 const std::vector<Sequence>& rows,
                                 std::size_t threshold) const;
 
+  /// Batched decide_rows across `workers` threads (the simulated CPU host
+  /// is itself multi-core; this makes the gold-standard labelling of large
+  /// batches usably fast). Worker-count independent.
+  std::vector<std::vector<bool>> decide_batch(
+      const std::vector<Sequence>& reads, const std::vector<Sequence>& rows,
+      std::size_t threshold, std::size_t workers = 1) const;
+
   /// Modelled time to process one read against `rows` stored segments.
   double seconds_per_read(std::size_t read_length, std::size_t rows,
                           std::size_t threshold) const;

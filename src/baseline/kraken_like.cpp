@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace asmcap {
 
 Kmer KrakenLikeClassifier::canon(Kmer kmer) const {
@@ -51,6 +53,16 @@ std::vector<bool> KrakenLikeClassifier::decide_rows(
   std::vector<bool> decisions(fractions.size(), false);
   for (std::size_t r = 0; r < fractions.size(); ++r)
     decisions[r] = fractions[r] >= config_.confidence;
+  return decisions;
+}
+
+std::vector<std::vector<bool>> KrakenLikeClassifier::decide_batch(
+    const std::vector<Sequence>& reads, std::size_t workers) const {
+  std::vector<std::vector<bool>> decisions(reads.size());
+  ThreadPool pool(workers);
+  pool.parallel_for(reads.size(), [&](std::size_t i) {
+    decisions[i] = decide_rows(reads[i]);
+  });
   return decisions;
 }
 

@@ -35,6 +35,11 @@ class KrakenLikeClassifier {
   /// reaches the confidence threshold.
   std::vector<bool> decide_rows(const Sequence& read) const;
 
+  /// Batched decide_rows across `workers` threads. decide_rows is pure, so
+  /// the result is worker-count independent.
+  std::vector<std::vector<bool>> decide_batch(
+      const std::vector<Sequence>& reads, std::size_t workers = 1) const;
+
   /// Per-row hit fractions (diagnostics / threshold studies).
   std::vector<double> hit_fractions(const Sequence& read) const;
 

@@ -26,12 +26,15 @@ SearchlineDriver::SearchlineDriver(std::size_t width,
 }
 
 double SearchlineDriver::drive(const Sequence& read) {
-  if (read.size() != width_)
-    throw std::invalid_argument("SearchlineDriver::drive: width mismatch");
-  const double energy =
-      params_.energy_per_base * static_cast<double>(read.size());
+  const double energy = drive_energy(read);
   energy_ += energy;
   return energy;
+}
+
+double SearchlineDriver::drive_energy(const Sequence& read) const {
+  if (read.size() != width_)
+    throw std::invalid_argument("SearchlineDriver::drive: width mismatch");
+  return params_.energy_per_base * static_cast<double>(read.size());
 }
 
 double row_write_energy(std::size_t cols, const WriteCostParams& params) {

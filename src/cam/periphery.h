@@ -43,6 +43,11 @@ class SearchlineDriver {
   /// Validates and "drives" a read; returns the energy charged.
   double drive(const Sequence& read);
 
+  /// Energy one drive of `read` would charge, without accumulating it
+  /// (the const path used by the thread-safe execution backends). Performs
+  /// the same width validation as drive().
+  double drive_energy(const Sequence& read) const;
+
   double consumed_energy() const { return energy_; }
   void reset_energy() { energy_ = 0.0; }
   std::size_t width() const { return width_; }

@@ -11,6 +11,7 @@
 #include "circuit/power.h"
 #include "circuit/timing.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace asmcap {
 
@@ -29,7 +30,8 @@ Fig7Series Fig7Runner::run(const Dataset& dataset,
   const std::size_t ed_cap =
       *std::max_element(thresholds.begin(), thresholds.end());
 
-  DatasetSignals signals(dataset, config_.asmcap, config_.edam, ed_cap, rng);
+  DatasetSignals signals(dataset, config_.asmcap, config_.edam, ed_cap, rng,
+                         config_.workers);
   const auto& asmcap_ro = signals.asmcap_readout();
   const auto& edam_ro = signals.edam_readout();
   const Hdac hdac(config_.asmcap.hdac);
@@ -40,15 +42,22 @@ Fig7Series Fig7Runner::run(const Dataset& dataset,
   // Kraken-like predictions are threshold-independent: compute once.
   KrakenLikeClassifier kraken(config_.kraken);
   kraken.index_rows(dataset.rows);
-  std::vector<std::vector<bool>> kraken_pred;
-  kraken_pred.reserve(signals.queries());
+  std::vector<Sequence> query_reads;
+  query_reads.reserve(dataset.queries.size());
   for (const DatasetQuery& query : dataset.queries)
-    kraken_pred.push_back(kraken.decide_rows(query.read));
+    query_reads.push_back(query.read);
+  const std::vector<std::vector<bool>> kraken_pred =
+      kraken.decide_batch(query_reads, config_.workers);
 
   Fig7Series series;
   series.condition = dataset.name;
+  series.points.resize(thresholds.size());
 
-  for (const std::size_t threshold : thresholds) {
+  // Each threshold replays the cached signals against its own forked noise
+  // stream, so thresholds evaluate independently and in parallel.
+  ThreadPool pool(config_.workers);
+  pool.parallel_for(thresholds.size(), [&](std::size_t t) {
+    const std::size_t threshold = thresholds[t];
     Fig7Point point;
     point.threshold = threshold;
     ConfusionMatrix cm_edam, cm_base, cm_hdac, cm_tasr, cm_full, cm_kraken;
@@ -129,8 +138,8 @@ Fig7Series Fig7Runner::run(const Dataset& dataset,
     point.cm_edam = cm_edam;
     point.cm_base = cm_base;
     point.cm_full = cm_full;
-    series.points.push_back(point);
-  }
+    series.points[t] = point;
+  });
   return series;
 }
 

@@ -44,6 +44,10 @@ struct Fig7Config {
   CurrentDomainParams edam;
   KrakenLikeConfig kraken;
   bool edam_sr_enabled = false;  ///< EDAM's own rotation strategy.
+  /// Worker threads for the signal precomputation and the per-threshold
+  /// replay. Every threshold forks its own noise stream, so results are
+  /// worker-count independent.
+  std::size_t workers = 1;
 };
 
 class Fig7Runner {

@@ -5,13 +5,15 @@
 #include "align/edit_distance.h"
 #include "align/edstar.h"
 #include "align/hamming.h"
+#include "util/thread_pool.h"
 
 namespace asmcap {
 
 DatasetSignals::DatasetSignals(const Dataset& dataset,
                                const AsmcapConfig& config,
                                const CurrentDomainParams& edam_params,
-                               std::size_t ed_cap, Rng& rng)
+                               std::size_t ed_cap, Rng& rng,
+                               std::size_t workers)
     : dataset_(&dataset),
       queries_(dataset.queries.size()),
       rows_(dataset.rows.size()),
@@ -29,8 +31,12 @@ DatasetSignals::DatasetSignals(const Dataset& dataset,
   edam_readout_ = std::make_unique<CurrentArrayReadout>(
       rows_, cols, edam_params, edam_silicon);
 
+  // Every (query, row) pair depends only on the dataset and the silicon
+  // manufactured above, so queries precompute independently and in
+  // parallel; results are written by index.
   pairs_.resize(queries_ * rows_);
-  for (std::size_t q = 0; q < queries_; ++q) {
+  ThreadPool pool(workers);
+  pool.parallel_for(queries_, [&](std::size_t q) {
     const Sequence& read = dataset.queries[q].read;
     // The rotation schedule is shared by all rows of a query.
     const auto rotations =
@@ -62,7 +68,7 @@ DatasetSignals::DatasetSignals(const Dataset& dataset,
         signals.rot_edam_drop.push_back(edam_readout_->drop_row(r, rot_mask));
       }
     }
-  }
+  });
 }
 
 const PairSignals& DatasetSignals::pair(std::size_t query,

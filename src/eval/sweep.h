@@ -38,9 +38,11 @@ struct PairSignals {
 class DatasetSignals {
  public:
   /// `ed_cap` must be at least the largest threshold that will be swept.
+  /// Per-pair precomputation fans out across `workers` threads (every pair
+  /// is silicon-deterministic, so the result is worker-count independent).
   DatasetSignals(const Dataset& dataset, const AsmcapConfig& config,
                  const CurrentDomainParams& edam_params, std::size_t ed_cap,
-                 Rng& rng);
+                 Rng& rng, std::size_t workers = 1);
 
   const PairSignals& pair(std::size_t query, std::size_t row) const;
   std::size_t queries() const { return queries_; }

@@ -110,6 +110,18 @@ std::string Sequence::to_string() const {
   return text;
 }
 
+std::vector<std::uint64_t> Sequence::packed_words() const {
+  std::vector<std::uint64_t> words((size_ + 31) / 32, 0);
+  const std::size_t bytes = (size_ + 3) / 4;
+  for (std::size_t b = 0; b < bytes; ++b)
+    words[b >> 3] |= static_cast<std::uint64_t>(data_[b]) << ((b & 7u) * 8);
+  // In-place edits can leave stale bits in the final partial byte; the
+  // word-parallel kernels rely on tail bits being zero.
+  if (const std::size_t tail = size_ % 32; tail != 0 && !words.empty())
+    words.back() &= (std::uint64_t{1} << (2 * tail)) - 1;
+  return words;
+}
+
 bool Sequence::operator==(const Sequence& other) const {
   if (size_ != other.size_) return false;
   for (std::size_t i = 0; i < size_; ++i)

@@ -61,6 +61,10 @@ class Sequence {
 
   std::string to_string() const;
 
+  /// 2-bit packed words for the word-parallel kernels: base i occupies bits
+  /// [2*(i%32), 2*(i%32)+1] of word i/32; bits beyond size() are zero.
+  std::vector<std::uint64_t> packed_words() const;
+
   bool operator==(const Sequence& other) const;
 
   /// Count of positions where the co-located bases differ; both sequences

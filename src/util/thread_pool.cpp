@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace asmcap {
+
+std::size_t ThreadPool::hardware_workers() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = hardware_workers();
+  threads_.reserve(workers - 1);
+  for (std::size_t i = 0; i + 1 < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_job(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    try {
+      job.fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job) run_job(*job);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->count = count;
+  job->remaining.store(count, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_job(*job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+    job_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace asmcap

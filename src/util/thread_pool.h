@@ -1,0 +1,67 @@
+#pragma once
+// Small persistent worker pool for the batched execution engine. Work is a
+// dense index range; workers claim indices from a shared atomic counter and
+// all results are written by index, so the output of a parallel map never
+// depends on scheduling order or on how many workers ran it. That property
+// (plus per-index RNG forking at the call sites) is what makes batched
+// searches reproducible regardless of thread count.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asmcap {
+
+class ThreadPool {
+ public:
+  /// A pool of `workers` concurrent executors. The calling thread of
+  /// parallel_for() participates, so `workers == 1` spawns no threads and
+  /// runs everything inline; `workers == 0` uses hardware_workers().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors (spawned threads + the calling thread).
+  std::size_t workers() const { return threads_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, count), blocking until all complete.
+  /// fn must be safe to call concurrently for distinct indices. The first
+  /// exception thrown by any index is rethrown here (remaining indices may
+  /// or may not run).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static std::size_t hardware_workers();
+
+ private:
+  struct Job {
+    std::function<void(std::size_t)> fn;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  void run_job(Job& job);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;       ///< Current job (guarded by mutex_).
+  std::uint64_t generation_ = 0;   ///< Bumped per job (guarded by mutex_).
+  bool stop_ = false;
+};
+
+}  // namespace asmcap

@@ -183,5 +183,39 @@ TEST(EdStar, RandomPairMismatchRate) {
   EXPECT_NEAR(total / trials / 256.0, 27.0 / 64.0, 0.015);
 }
 
+TEST(EdStar, PackedKernelMatchesScalar) {
+  // The word-parallel kernel must agree with the scalar reference for every
+  // length, including word-boundary and partial-word cases.
+  Rng rng(86);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{31}, std::size_t{32},
+        std::size_t{33}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{100}, std::size_t{256}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const Sequence a = Sequence::random(n, rng);
+      Sequence b = a;
+      for (std::uint64_t e = rng.below(n + 1); e > 0; --e)
+        b.set(rng.below(n), base_from_code(
+                                static_cast<std::uint8_t>(rng.below(4))));
+      EXPECT_EQ(ed_star_packed(a.packed_words(), b.packed_words(), n),
+                ed_star(a, b))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(EdStar, PackedKernelMatchesScalarUnderIndels) {
+  Rng rng(87);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sequence a = Sequence::random(96, rng);
+    EditedSequence edited = inject_edits(a, {0.05, 0.02, 0.02}, rng);
+    Sequence b = edited.seq;
+    while (b.size() < 96) b.push_back(Base::C);
+    if (b.size() > 96) b = b.subseq(0, 96);
+    EXPECT_EQ(ed_star_packed(a.packed_words(), b.packed_words(), 96),
+              ed_star(a, b));
+  }
+}
+
 }  // namespace
 }  // namespace asmcap

@@ -1,0 +1,275 @@
+// Tests of the layered execution engine: QueryPlanner plan materialisation,
+// CircuitBackend/FunctionalBackend decision equivalence, and worker-count
+// independence of search_batch.
+
+#include <gtest/gtest.h>
+
+#include "asmcap/accelerator.h"
+#include "asmcap/readmapper.h"
+#include "genome/edits.h"
+#include "genome/readsim.h"
+#include "genome/reference.h"
+
+namespace asmcap {
+namespace {
+
+AsmcapConfig small_config(bool ideal = true) {
+  AsmcapConfig config;
+  config.array_rows = 16;
+  config.array_cols = 64;
+  config.array_count = 4;
+  config.ideal_sensing = ideal;
+  return config;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(901);
+    reference_ = generate_reference(64 * 40 + 128, {}, rng);
+    segments_ = segment_reference(reference_, 64);
+    segments_.resize(40);
+
+    // A mixed bag of reads: clean copies, noisy copies, random foreigners.
+    Rng read_rng(902);
+    ReadSimConfig sim_config;
+    sim_config.read_length = 64;
+    sim_config.rates = ErrorRates::condition_a();
+    const ReadSimulator sim(reference_, sim_config);
+    for (int i = 0; i < 30; ++i) {
+      switch (i % 3) {
+        case 0:
+          reads_.push_back(segments_[static_cast<std::size_t>(
+              read_rng.below(segments_.size()))]);
+          break;
+        case 1:
+          reads_.push_back(
+              sim.simulate_at(read_rng.below(40) * 64, read_rng).read);
+          break;
+        default:
+          reads_.push_back(Sequence::random(64, read_rng));
+      }
+    }
+  }
+
+  Sequence reference_;
+  std::vector<Sequence> segments_;
+  std::vector<Sequence> reads_;
+};
+
+// ------------------------------------------------------------- planner --
+
+TEST_F(EngineTest, PlanMaterialisesSinglePassWithoutTasr) {
+  const QueryPlanner planner(small_config());
+  const ExecutionPlan plan =
+      planner.build(reads_[0], 1, ErrorRates::condition_a(),
+                    StrategyMode::Baseline);
+  EXPECT_EQ(plan.ed_star_passes.size(), 1u);
+  EXPECT_TRUE(plan.ed_star_passes[0] == reads_[0]);
+  EXPECT_FALSE(plan.hd_pass);
+  EXPECT_EQ(plan.threshold, 1u);
+  EXPECT_EQ(plan.summary.total_searches(), 1u);
+}
+
+TEST_F(EngineTest, PlanMaterialisesRotationSchedule) {
+  const QueryPlanner planner(small_config());
+  // Condition B, T = 6 >= T_l = 2: TASR triggers with N_R = 2 per direction.
+  const ExecutionPlan plan = planner.build(
+      reads_[0], 6, ErrorRates::condition_b(), StrategyMode::TasrOnly);
+  ASSERT_TRUE(plan.summary.tasr_triggered);
+  EXPECT_EQ(plan.summary.ed_star_searches, 5u);
+  // Original + 4 distinct rotations; the original is never re-searched.
+  EXPECT_EQ(plan.ed_star_passes.size(), 5u);
+  for (std::size_t p = 1; p < plan.ed_star_passes.size(); ++p)
+    EXPECT_FALSE(plan.ed_star_passes[p] == reads_[0]);
+}
+
+TEST_F(EngineTest, PlanHdacPass) {
+  const QueryPlanner planner(small_config());
+  const ExecutionPlan plan = planner.build(
+      reads_[0], 1, ErrorRates::condition_a(), StrategyMode::HdacOnly);
+  EXPECT_TRUE(plan.hd_pass);
+  EXPECT_GT(plan.hdac_p, 0.0);
+  EXPECT_EQ(plan.summary.total_searches(), 2u);
+}
+
+// ---------------------------------------------------- backend equivalence --
+
+TEST_F(EngineTest, BackendsAgreeUnderIdealSensing) {
+  // The FunctionalBackend must reproduce the CircuitBackend's decisions
+  // exactly when sensing is ideal, across all strategy modes.
+  for (const StrategyMode mode :
+       {StrategyMode::Baseline, StrategyMode::HdacOnly, StrategyMode::TasrOnly,
+        StrategyMode::Full}) {
+    AsmcapAccelerator circuit(small_config(/*ideal=*/true));
+    AsmcapAccelerator functional(small_config(/*ideal=*/true));
+    circuit.load_reference(segments_);
+    functional.load_reference(segments_);
+    functional.set_backend(BackendKind::Functional);
+    EXPECT_EQ(functional.backend().name(), std::string("functional"));
+
+    for (const Sequence& read : reads_) {
+      for (const std::size_t threshold :
+           {std::size_t{0}, std::size_t{2}, std::size_t{6}}) {
+        const QueryResult a = circuit.search(read, threshold, mode);
+        const QueryResult b = functional.search(read, threshold, mode);
+        EXPECT_EQ(a.decisions, b.decisions)
+            << "mode=" << to_string(mode) << " T=" << threshold;
+        EXPECT_EQ(a.matched_segments, b.matched_segments);
+        EXPECT_EQ(a.plan.total_searches(), b.plan.total_searches());
+        EXPECT_DOUBLE_EQ(a.latency_seconds, b.latency_seconds);
+      }
+    }
+  }
+}
+
+TEST_F(EngineTest, FunctionalEnergyTracksCircuitEnergy) {
+  // Functional energy is the nominal (mismatch-free silicon) analytic
+  // model; it must sit within a few percent of the manufactured circuit's.
+  AsmcapAccelerator circuit(small_config());
+  AsmcapAccelerator functional(small_config());
+  circuit.load_reference(segments_);
+  functional.load_reference(segments_);
+  functional.set_backend(BackendKind::Functional);
+  const QueryResult a = circuit.search(reads_[0], 2, StrategyMode::Baseline);
+  const QueryResult b = functional.search(reads_[0], 2, StrategyMode::Baseline);
+  EXPECT_GT(b.energy_joules, 0.0);
+  EXPECT_NEAR(b.energy_joules / a.energy_joules, 1.0, 0.05);
+}
+
+TEST_F(EngineTest, BackendSwitchIsLive) {
+  AsmcapAccelerator accel(small_config());
+  accel.load_reference(segments_);
+  EXPECT_EQ(accel.backend_kind(), BackendKind::Circuit);
+  const QueryResult a = accel.search(reads_[0], 2, StrategyMode::Baseline);
+  accel.set_backend(BackendKind::Functional);
+  const QueryResult b = accel.search(reads_[0], 2, StrategyMode::Baseline);
+  accel.set_backend(BackendKind::Circuit);
+  const QueryResult c = accel.search(reads_[0], 2, StrategyMode::Baseline);
+  EXPECT_EQ(a.decisions, b.decisions);  // ideal sensing: identical
+  EXPECT_EQ(a.decisions, c.decisions);
+  EXPECT_EQ(accel.controller().totals().queries, 3u);
+}
+
+// ------------------------------------------------------ batch determinism --
+
+TEST_F(EngineTest, BatchResultsIndependentOfWorkerCount) {
+  // Noisy sensing exercises the per-read RNG forking; results must be
+  // bit-identical for any worker count.
+  std::vector<std::vector<QueryResult>> runs;
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    AsmcapAccelerator accel(small_config(/*ideal=*/false));
+    accel.load_reference(segments_);
+    runs.push_back(accel.search_batch(reads_, 4, StrategyMode::Full, workers));
+  }
+  for (std::size_t w = 1; w < runs.size(); ++w) {
+    ASSERT_EQ(runs[w].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[w][i].decisions, runs[0][i].decisions) << "read " << i;
+      EXPECT_EQ(runs[w][i].energy_joules, runs[0][i].energy_joules);
+      EXPECT_EQ(runs[w][i].latency_seconds, runs[0][i].latency_seconds);
+    }
+  }
+}
+
+TEST_F(EngineTest, BatchDoesNotPerturbSequentialStream) {
+  // A batch forks its per-read streams; the accelerator's own sequential
+  // RNG must be left untouched, so search() after a batch behaves as if
+  // the batch never happened.
+  AsmcapAccelerator a(small_config(/*ideal=*/false));
+  AsmcapAccelerator b(small_config(/*ideal=*/false));
+  a.load_reference(segments_);
+  b.load_reference(segments_);
+  (void)a.search_batch(reads_, 4, StrategyMode::Full, 2);
+  const QueryResult ra = a.search(reads_[0], 4, StrategyMode::Full);
+  const QueryResult rb = b.search(reads_[0], 4, StrategyMode::Full);
+  EXPECT_EQ(ra.decisions, rb.decisions);
+  EXPECT_EQ(ra.energy_joules, rb.energy_joules);
+}
+
+TEST_F(EngineTest, BatchLedgerMatchesSequentialTotals) {
+  AsmcapAccelerator accel(small_config());
+  accel.load_reference(segments_);
+  const auto results = accel.search_batch(reads_, 4, StrategyMode::Full, 4);
+  ASSERT_EQ(results.size(), reads_.size());
+  const ExecutionTotals& totals = accel.controller().totals();
+  EXPECT_EQ(totals.queries, reads_.size());
+  std::size_t searches = 0;
+  double energy = 0.0;
+  for (const QueryResult& r : results) {
+    searches += r.plan.total_searches();
+    energy += r.energy_joules;
+  }
+  EXPECT_EQ(totals.searches, searches);
+  EXPECT_DOUBLE_EQ(totals.energy_joules, energy);
+}
+
+TEST_F(EngineTest, BatchValidation) {
+  AsmcapAccelerator accel(small_config());
+  EXPECT_THROW(accel.search_batch({}, 2, StrategyMode::Baseline, 2),
+               std::logic_error);
+  accel.load_reference(segments_);
+  EXPECT_TRUE(accel.search_batch({}, 2, StrategyMode::Baseline, 2).empty());
+  Rng rng(903);
+  EXPECT_THROW(accel.search_batch({Sequence::random(32, rng)}, 2,
+                                  StrategyMode::Baseline, 2),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- batch mapper --
+
+TEST_F(EngineTest, MapBatchWorkerCountIndependent) {
+  Rng rng(904);
+  ReadSimConfig sim_config;
+  sim_config.read_length = 64;
+  sim_config.rates = ErrorRates::condition_a();
+  const ReadSimulator sim(reference_, sim_config);
+  std::vector<Sequence> reads;
+  for (int i = 0; i < 20; ++i)
+    reads.push_back(sim.simulate_at(rng.below(40) * 64, rng).read);
+
+  std::vector<std::vector<MappedRead>> runs;
+  std::vector<MappingStats> stats;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    AsmcapConfig config = small_config(/*ideal=*/false);
+    ReadMapper mapper(config, segments_, 64);
+    std::vector<MappedRead> mapped;
+    stats.push_back(
+        mapper.map_batch(reads, 4, StrategyMode::Full, &mapped, workers));
+    runs.push_back(std::move(mapped));
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].mapped, runs[1][i].mapped);
+    EXPECT_EQ(runs[0][i].segment, runs[1][i].segment);
+    EXPECT_EQ(runs[0][i].edit_distance, runs[1][i].edit_distance);
+    EXPECT_EQ(runs[0][i].candidates, runs[1][i].candidates);
+  }
+  EXPECT_EQ(stats[0].mapped, stats[1].mapped);
+  EXPECT_EQ(stats[0].host_dp_cells, stats[1].host_dp_cells);
+  EXPECT_DOUBLE_EQ(stats[0].accel_energy_joules, stats[1].accel_energy_joules);
+}
+
+TEST_F(EngineTest, FunctionalBackendSpeedsUpMapperUnchangedDecisions) {
+  // End-to-end: the mapper gives identical mappings on both backends under
+  // ideal sensing.
+  std::vector<std::vector<MappedRead>> runs;
+  for (const BackendKind kind :
+       {BackendKind::Circuit, BackendKind::Functional}) {
+    ReadMapper mapper(small_config(/*ideal=*/true), segments_, 64);
+    mapper.accelerator().set_backend(kind);
+    std::vector<MappedRead> mapped;
+    mapper.map_batch(reads_, 4, StrategyMode::Full, &mapped, 2);
+    runs.push_back(std::move(mapped));
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].mapped, runs[1][i].mapped);
+    EXPECT_EQ(runs[0][i].segment, runs[1][i].segment);
+    EXPECT_EQ(runs[0][i].candidates, runs[1][i].candidates);
+  }
+}
+
+}  // namespace
+}  // namespace asmcap

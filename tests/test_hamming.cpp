@@ -66,5 +66,20 @@ TEST(Hamming, RandomPairsNearExpectation) {
   EXPECT_NEAR(total / trials / 256.0, 0.75, 0.01);  // 3/4 mismatch rate
 }
 
+TEST(Hamming, PackedKernelMatchesScalar) {
+  Rng rng(33);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{31}, std::size_t{32}, std::size_t{33},
+        std::size_t{64}, std::size_t{100}, std::size_t{256}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const Sequence a = Sequence::random(n, rng);
+      const Sequence b = Sequence::random(n, rng);
+      EXPECT_EQ(hamming_packed(a.packed_words(), b.packed_words(), n),
+                hamming_distance(a, b))
+          << "n=" << n;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace asmcap

@@ -1,0 +1,67 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace asmcap {
+namespace {
+
+TEST(ThreadPool, InlineWhenSingleWorker) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1u);
+  std::vector<int> out(100, 0);
+  pool.parallel_for(out.size(),
+                    [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, AllIndicesRunExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::size_t> out(64, 0);
+    pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i + 1; });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::size_t{0}),
+              64u * 65u / 2u);
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleCounts) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+  int calls = 0;
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, HardwareWorkersAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace asmcap
