@@ -29,7 +29,7 @@ CappedDistance banded_edit_distance(const Sequence& a, const Sequence& b,
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   const std::size_t length_gap = n > m ? n - m : m - n;
-  if (length_gap > cap) return {cap + 1, false};
+  if (length_gap > cap) return {cap + 1, false, 0};
 
   // Band of diagonals [-cap, +cap] around the main diagonal; cells outside
   // hold "infinity". Offset indexing keeps everything unsigned-safe.
@@ -38,12 +38,17 @@ CappedDistance banded_edit_distance(const Sequence& a, const Sequence& b,
   std::vector<std::size_t> prev(width, inf);
   std::vector<std::size_t> curr(width, inf);
 
+  std::size_t cells = 0;
+
   // Row 0: D[0][j] = j for j <= cap.
   for (std::size_t d = 0; d < width; ++d) {
     // diagonal index d corresponds to j - i = d - cap; at i = 0, j = d - cap.
     if (d >= cap) {
       const std::size_t j = d - cap;
-      if (j <= m && j <= cap) prev[d] = j;
+      if (j <= m && j <= cap) {
+        prev[d] = j;
+        ++cells;
+      }
     }
   }
 
@@ -74,16 +79,17 @@ CappedDistance banded_edit_distance(const Sequence& a, const Sequence& b,
       }
       curr[d] = best;
       row_min = std::min(row_min, best);
+      ++cells;
     }
-    if (row_min > cap) return {cap + 1, false};  // Ukkonen early exit.
+    if (row_min > cap) return {cap + 1, false, cells};  // Ukkonen early exit.
     std::swap(prev, curr);
   }
 
   // Final cell (n, m) lies at diagonal m - n + cap.
   const std::size_t final_d = m + cap - n;
   const std::size_t distance = prev[final_d];
-  if (distance > cap) return {cap + 1, false};
-  return {distance, true};
+  if (distance > cap) return {cap + 1, false, cells};
+  return {distance, true, cells};
 }
 
 bool edit_distance_within(const Sequence& a, const Sequence& b,

@@ -21,6 +21,11 @@ std::size_t edit_distance(const Sequence& a, const Sequence& b);
 struct CappedDistance {
   std::size_t distance = 0;
   bool within_band = false;
+  /// DP cells actually evaluated — at most (n+1) * (2*cap+1), but smaller
+  /// when the Ukkonen early exit fires or the band clips the matrix edge.
+  /// This is what honest host-work accounting charges (the worst-case
+  /// band area overstates verification cost on early-terminating rows).
+  std::size_t cells = 0;
 };
 
 /// Banded edit distance with band half-width `cap` (Ukkonen). Exact for all

@@ -4,9 +4,16 @@
 #include <stdexcept>
 
 #include "cam/periphery.h"
-#include "util/thread_pool.h"
 
 namespace asmcap {
+
+namespace {
+// Pass salts for the per-query RNG tree (see backend.h): ED* pass p forks
+// stream p; the HD pass and the HDAC selection coins get their own salts,
+// out of reach of any realistic rotation-schedule length.
+constexpr std::uint64_t kHdPassSalt = 0x4844'0000ULL;
+constexpr std::uint64_t kHdacSelectSalt = 0x5E1E'C700ULL;
+}  // namespace
 
 AsmcapAccelerator::AsmcapAccelerator(AsmcapConfig config)
     : config_(config),
@@ -35,7 +42,8 @@ void AsmcapAccelerator::load_reference(const std::vector<Sequence>& segments) {
   segments_loaded_ = segments.size();
 
   circuit_backend_ = std::make_unique<CircuitBackend>(
-      units_, mapper_, segments_loaded_, config_.array_rows);
+      units_, mapper_, segments_loaded_, config_.array_rows,
+      config_.segment_base);
   functional_backend_ = std::make_unique<FunctionalBackend>(segments, config_);
 
   // One-time load cost: every row write burns decoder+WL+SRAM energy; the
@@ -64,8 +72,8 @@ void AsmcapAccelerator::check_read(const Sequence& read) const {
     throw std::invalid_argument("AsmcapAccelerator: read width mismatch");
 }
 
-QueryResult AsmcapAccelerator::execute_plan(const ExecutionPlan& plan,
-                                            Rng& rng) const {
+QueryResult AsmcapAccelerator::execute(const ExecutionPlan& plan,
+                                       const Rng& query_rng) const {
   const ExecutionBackend& backend = this->backend();
 
   QueryResult result;
@@ -76,8 +84,9 @@ QueryResult AsmcapAccelerator::execute_plan(const ExecutionPlan& plan,
   std::vector<bool> ed_star;
   double energy = 0.0;
   for (std::size_t p = 0; p < plan.ed_star_passes.size(); ++p) {
-    PassResult pass = backend.run_pass(plan.ed_star_passes[p],
-                                       MatchMode::EdStar, plan.threshold, rng);
+    PassResult pass =
+        backend.run_pass(plan.ed_star_passes[p], MatchMode::EdStar,
+                         plan.threshold, query_rng, p);
     energy += pass.energy_joules;
     if (p == 0) {
       ed_star = std::move(pass.decisions);
@@ -87,14 +96,23 @@ QueryResult AsmcapAccelerator::execute_plan(const ExecutionPlan& plan,
     }
   }
 
-  // HDAC pass: HD search and probabilistic selection (Algorithm 1).
+  // HDAC pass: HD search and probabilistic selection (Algorithm 1). The
+  // selection coin of each row is forked from its global segment id, so
+  // the outcome does not depend on which rows share its bank.
   if (plan.hd_pass) {
-    const PassResult hd = backend.run_pass(
-        plan.ed_star_passes.front(), MatchMode::Hamming, plan.threshold, rng);
+    const PassResult hd =
+        backend.run_pass(plan.ed_star_passes.front(), MatchMode::Hamming,
+                         plan.threshold, query_rng, kHdPassSalt);
     energy += hd.energy_joules;
     const Hdac& hdac = planner().hdac();
-    for (std::size_t g = 0; g < ed_star.size(); ++g)
-      ed_star[g] = hdac.combine(hd.decisions[g], ed_star[g], plan.hdac_p, rng);
+    const Rng select_rng = query_rng.fork(kHdacSelectSalt);
+    for (std::size_t g = 0; g < ed_star.size(); ++g) {
+      if (hd.decisions[g] == ed_star[g]) continue;
+      Rng coin = select_rng.fork(
+          static_cast<std::uint64_t>(config_.segment_base + g));
+      ed_star[g] = hdac.combine(hd.decisions[g], ed_star[g], plan.hdac_p,
+                                coin);
+    }
   }
 
   result.decisions = std::move(ed_star);
@@ -112,7 +130,10 @@ QueryResult AsmcapAccelerator::search(const Sequence& read,
                                       StrategyMode mode) {
   check_read(read);
   const ExecutionPlan plan = planner().build(read, threshold, rates_, mode);
-  QueryResult result = execute_plan(plan, rng_);
+  // One advance of the sequential stream per query; everything inside the
+  // query forks from the resulting stream (see backend.h).
+  const Rng query_rng = rng_.fork(rng_.next());
+  QueryResult result = execute(plan, query_rng);
   controller_.record(result.plan, result.latency_seconds,
                      result.energy_joules);
   return result;
@@ -135,12 +156,12 @@ std::vector<QueryResult> AsmcapAccelerator::search_batch(
   const std::uint64_t epoch = ++batch_epoch_;
 
   std::vector<QueryResult> results(reads.size());
-  ThreadPool pool(workers);
-  pool.parallel_for(reads.size(), [&](std::size_t i) {
+  worker_pool(workers).parallel_for(reads.size(), [&](std::size_t i) {
     const ExecutionPlan plan =
         planner().build(reads[i], threshold, rates_, mode);
-    Rng query_rng = rng_.fork((epoch << 32) | static_cast<std::uint64_t>(i));
-    results[i] = execute_plan(plan, query_rng);
+    const Rng query_rng =
+        rng_.fork((epoch << 32) | static_cast<std::uint64_t>(i));
+    results[i] = execute(plan, query_rng);
   });
 
   // Ledger totals are recorded sequentially in read order.

@@ -27,6 +27,7 @@
 #include "genome/edits.h"
 #include "genome/sequence.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace asmcap {
 
@@ -82,6 +83,21 @@ class AsmcapAccelerator {
                                         StrategyMode mode,
                                         std::size_t workers = 1);
 
+  /// Runs one materialised plan with an explicit query stream. Const and
+  /// thread-safe: it never touches the ledger, the sequential RNG, or any
+  /// other shared mutable state, and `query_rng` is only forked, never
+  /// advanced. This is the entry point the sharded router fans across
+  /// banks (every bank executing the same plan against the same stream).
+  QueryResult execute(const ExecutionPlan& plan, const Rng& query_rng) const;
+
+  /// The session-owned worker pool (see SessionPool), reused across
+  /// search_batch/map_batch calls. NOTE: ThreadPool::parallel_for is not
+  /// reentrant — never call back into the pool from inside a task it is
+  /// running.
+  ThreadPool& worker_pool(std::size_t workers = 0) {
+    return pool_.get(workers);
+  }
+
   std::size_t loaded_segments() const { return segments_loaded_; }
   std::size_t arrays_in_use() const { return mapper_.arrays_in_use(); }
   /// One-time cost of loading the reference (decoder + WL + SRAM writes;
@@ -95,10 +111,6 @@ class AsmcapAccelerator {
   const TimingModel& timing() const { return timing_; }
 
  private:
-  /// Runs one materialised plan on the active backend. Thread-safe: every
-  /// mutable per-query state (the RNG, the result) is owned by the caller.
-  QueryResult execute_plan(const ExecutionPlan& plan, Rng& rng) const;
-
   void check_read(const Sequence& read) const;
 
   AsmcapConfig config_;
@@ -115,6 +127,7 @@ class AsmcapAccelerator {
   double load_latency_ = 0.0;
   std::uint64_t batch_epoch_ = 0;
   Rng rng_;
+  SessionPool pool_;
 };
 
 }  // namespace asmcap

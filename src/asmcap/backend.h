@@ -14,6 +14,14 @@
 //
 // run_pass is const and thread-safe: concurrent batch workers share one
 // backend, each supplying its own forked RNG stream.
+//
+// RNG discipline: a pass never draws from the query stream sequentially.
+// It forks a pass stream (query_rng.fork(pass_salt)) and then forks one
+// decision stream per row, keyed by the row's *global* segment id
+// (segment_base + local id). Every decision is therefore a pure function
+// of (query stream, pass, global segment) — independent of segment
+// placement, bank layout, and evaluation order. This is what makes the
+// sharded accelerator's decisions invariant in shard count.
 
 #include <cstddef>
 #include <cstdint>
@@ -46,12 +54,14 @@ class ExecutionBackend {
   virtual const char* name() const = 0;
   virtual std::size_t segment_count() const = 0;
 
-  /// One search pass: per-global-segment decisions at `threshold`.
-  /// Must be thread-safe; `search_rng` supplies the per-decision SA noise
-  /// (unused by paths that decide ideally).
+  /// One search pass: per-segment decisions at `threshold` (indexed by
+  /// local segment id; the backend's segment_base only salts the RNG).
+  /// Must be thread-safe; per-decision SA noise is forked from
+  /// `query_rng.fork(pass_salt)` per global segment (unused by paths that
+  /// decide ideally). `query_rng` is never advanced.
   virtual PassResult run_pass(const Sequence& read, MatchMode mode,
-                              std::size_t threshold,
-                              Rng& search_rng) const = 0;
+                              std::size_t threshold, const Rng& query_rng,
+                              std::uint64_t pass_salt) const = 0;
 };
 
 /// Cell-accurate backend wrapping the manufactured AsmcapArrayUnit bank.
@@ -61,18 +71,20 @@ class CircuitBackend : public ExecutionBackend {
  public:
   CircuitBackend(const std::vector<AsmcapArrayUnit>& units,
                  const ReferenceMapper& mapper, std::size_t segment_count,
-                 std::size_t array_rows);
+                 std::size_t array_rows, std::size_t segment_base = 0);
 
   const char* name() const override { return "circuit"; }
   std::size_t segment_count() const override { return segment_count_; }
   PassResult run_pass(const Sequence& read, MatchMode mode,
-                      std::size_t threshold, Rng& search_rng) const override;
+                      std::size_t threshold, const Rng& query_rng,
+                      std::uint64_t pass_salt) const override;
 
  private:
   const std::vector<AsmcapArrayUnit>* units_;
   const ReferenceMapper* mapper_;
   std::size_t segment_count_;
   std::size_t array_rows_;
+  std::size_t segment_base_;
 };
 
 /// Fast functional backend: word-parallel kernels over 2-bit packed
@@ -85,7 +97,8 @@ class FunctionalBackend : public ExecutionBackend {
   const char* name() const override { return "functional"; }
   std::size_t segment_count() const override { return packed_.size(); }
   PassResult run_pass(const Sequence& read, MatchMode mode,
-                      std::size_t threshold, Rng& search_rng) const override;
+                      std::size_t threshold, const Rng& query_rng,
+                      std::uint64_t pass_salt) const override;
 
  private:
   std::vector<std::vector<std::uint64_t>> packed_;  ///< Per-segment words.

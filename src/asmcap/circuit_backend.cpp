@@ -13,15 +13,19 @@ const char* to_string(BackendKind kind) {
 CircuitBackend::CircuitBackend(const std::vector<AsmcapArrayUnit>& units,
                                const ReferenceMapper& mapper,
                                std::size_t segment_count,
-                               std::size_t array_rows)
+                               std::size_t array_rows,
+                               std::size_t segment_base)
     : units_(&units),
       mapper_(&mapper),
       segment_count_(segment_count),
-      array_rows_(array_rows) {}
+      array_rows_(array_rows),
+      segment_base_(segment_base) {}
 
 PassResult CircuitBackend::run_pass(const Sequence& read, MatchMode mode,
                                     std::size_t threshold,
-                                    Rng& search_rng) const {
+                                    const Rng& query_rng,
+                                    std::uint64_t pass_salt) const {
+  const Rng pass_rng = query_rng.fork(pass_salt);
   PassResult result;
   result.decisions.assign(segment_count_, false);
   for (std::size_t a = 0; a < units_->size(); ++a) {
@@ -32,8 +36,11 @@ PassResult CircuitBackend::run_pass(const Sequence& read, MatchMode mode,
     for (std::size_t r = 0; r < array_rows_; ++r) {
       const auto segment = mapper_->segment_at(a, r);
       if (!segment) continue;
+      // SA noise keyed by global segment id: placement-invariant.
+      Rng decide_rng = pass_rng.fork(
+          static_cast<std::uint64_t>(segment_base_ + *segment));
       result.decisions[*segment] =
-          unit.decide(raw.counts[r], raw.vml[r], threshold, search_rng);
+          unit.decide(raw.counts[r], raw.vml[r], threshold, decide_rng);
     }
   }
   return result;

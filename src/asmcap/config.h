@@ -48,6 +48,11 @@ struct AsmcapConfig {
   /// Bypass analog noise entirely (functional-simulation mode).
   bool ideal_sensing = false;
   std::uint64_t seed = 0xA5A5'5A5A'C0FF'EE00ULL;
+  /// Global id of this bank's first segment. 0 for a standalone
+  /// accelerator; the sharded router sets it per bank so that every
+  /// per-decision RNG stream is keyed by *global* segment id — which makes
+  /// match decisions independent of how segments are placed across banks.
+  std::size_t segment_base = 0;
 
   std::size_t capacity_segments() const { return array_rows * array_count; }
   /// Memory capacity in bits (2 bits per base): 512 x 256 x 256 x 2 = 64 Mb.

@@ -35,7 +35,8 @@ FunctionalBackend::FunctionalBackend(const std::vector<Sequence>& segments,
 
 PassResult FunctionalBackend::run_pass(const Sequence& read, MatchMode mode,
                                        std::size_t threshold,
-                                       Rng& /*search_rng*/) const {
+                                       const Rng& /*query_rng*/,
+                                       std::uint64_t /*pass_salt*/) const {
   if (read.size() != cols_)
     throw std::invalid_argument("FunctionalBackend: read width mismatch");
   const std::vector<std::uint64_t> packed_read = read.packed_words();

@@ -4,13 +4,14 @@
 #include <stdexcept>
 
 #include "align/edit_distance.h"
-#include "util/thread_pool.h"
 
 namespace asmcap {
 
 ReadMapper::ReadMapper(AsmcapConfig config, std::vector<Sequence> segments,
-                       std::size_t stride)
-    : accelerator_(config), segments_(std::move(segments)), stride_(stride) {
+                       std::size_t stride, std::size_t shard_count)
+    : accelerator_(config, shard_count),
+      segments_(std::move(segments)),
+      stride_(stride) {
   if (segments_.empty()) throw std::invalid_argument("ReadMapper: no segments");
   if (stride_ == 0) throw std::invalid_argument("ReadMapper: zero stride");
   accelerator_.load_reference(segments_);
@@ -26,14 +27,16 @@ MappedRead ReadMapper::verify(const Sequence& read, const QueryResult& result,
 
   // Host verification: exact banded ED on each reported row, keep the best.
   // (The accelerator is a filter; false positives die here, and the exact
-  // distance of the winner is recovered.)
+  // distance of the winner is recovered.) The DP-cell charge is the cells
+  // the banded routine actually evaluated — rows that early-exit cost less
+  // than the worst-case band area.
   std::size_t cells = 0;
   std::size_t best_segment = 0;
   std::size_t best_distance = std::numeric_limits<std::size_t>::max();
   for (const std::size_t segment : result.matched_segments) {
     const CappedDistance capped =
         banded_edit_distance(segments_[segment], read, threshold);
-    cells += read.size() * (2 * threshold + 1);
+    cells += capped.cells;
     if (capped.within_band && capped.distance < best_distance) {
       best_distance = capped.distance;
       best_segment = segment;
@@ -55,7 +58,7 @@ MappedRead ReadMapper::map(const Sequence& read, std::size_t threshold,
   const QueryResult result = accelerator_.search(read, threshold, mode);
   std::size_t dp_cells = 0;
   MappedRead out = verify(read, result, threshold, &dp_cells);
-  stats_.host_dp_cells += dp_cells;
+  stats_.add(out, dp_cells);
   return out;
 }
 
@@ -63,28 +66,25 @@ MappingStats ReadMapper::map_batch(const std::vector<Sequence>& reads,
                                    std::size_t threshold, StrategyMode mode,
                                    std::vector<MappedRead>* out,
                                    std::size_t workers) {
-  stats_ = MappingStats{};
-
   const std::vector<QueryResult> results =
       accelerator_.search_batch(reads, threshold, mode, workers);
 
   std::vector<MappedRead> mapped(reads.size());
   std::vector<std::size_t> dp_cells(reads.size(), 0);
-  ThreadPool pool(workers);
-  pool.parallel_for(reads.size(), [&](std::size_t i) {
-    mapped[i] = verify(reads[i], results[i], threshold, &dp_cells[i]);
-  });
+  // Verification reuses the accelerator's session pool (the filter phase
+  // above has fully drained it; parallel_for is not reentrant).
+  accelerator_.worker_pool(workers).parallel_for(
+      reads.size(), [&](std::size_t i) {
+        mapped[i] = verify(reads[i], results[i], threshold, &dp_cells[i]);
+      });
 
+  MappingStats batch;
   for (std::size_t i = 0; i < mapped.size(); ++i) {
-    ++stats_.reads;
-    stats_.mapped += mapped[i].mapped ? 1u : 0u;
-    stats_.total_candidates += mapped[i].candidates;
-    stats_.accel_latency_seconds += mapped[i].accel_latency_seconds;
-    stats_.accel_energy_joules += mapped[i].accel_energy_joules;
-    stats_.host_dp_cells += dp_cells[i];
+    batch.add(mapped[i], dp_cells[i]);
     if (out != nullptr) out->push_back(std::move(mapped[i]));
   }
-  return stats_;
+  stats_.merge(batch);
+  return batch;
 }
 
 }  // namespace asmcap

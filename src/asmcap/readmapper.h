@@ -5,19 +5,26 @@
 // alignment (CIGAR) of the best one. This is the deployment shape the
 // paper targets — the accelerator as a high-recall filter in front of a
 // conventional verification step.
+//
+// The filter is a ShardedAccelerator, so the stored database may span
+// several banks (shard_count x array_count x array_rows segments); the
+// host-side verification is unchanged by sharding because the segments
+// stay host-side and match reports arrive re-based to global ids. With
+// shard_count == 1 (the default) the mapper behaves bit-identically to
+// one built on a plain AsmcapAccelerator.
 
 #include <cstddef>
 #include <vector>
 
 #include "align/cigar.h"
-#include "asmcap/accelerator.h"
+#include "asmcap/sharded.h"
 #include "genome/sequence.h"
 
 namespace asmcap {
 
 struct MappedRead {
   bool mapped = false;
-  std::size_t segment = 0;        ///< Best-scoring stored row.
+  std::size_t segment = 0;        ///< Best-scoring stored row (global id).
   std::size_t reference_pos = 0;  ///< segment * stride.
   std::size_t edit_distance = 0;  ///< Exact ED to the best row.
   Alignment alignment;            ///< Global alignment vs the best row.
@@ -32,7 +39,25 @@ struct MappingStats {
   std::size_t total_candidates = 0;
   double accel_latency_seconds = 0.0;
   double accel_energy_joules = 0.0;
-  std::size_t host_dp_cells = 0;  ///< Verification work done on the host.
+  std::size_t host_dp_cells = 0;  ///< Verification work done on the host
+                                  ///< (actual banded-DP cells evaluated).
+
+  void add(const MappedRead& read, std::size_t dp_cells) {
+    ++reads;
+    mapped += read.mapped ? 1u : 0u;
+    total_candidates += read.candidates;
+    accel_latency_seconds += read.accel_latency_seconds;
+    accel_energy_joules += read.accel_energy_joules;
+    host_dp_cells += dp_cells;
+  }
+  void merge(const MappingStats& other) {
+    reads += other.reads;
+    mapped += other.mapped;
+    total_candidates += other.total_candidates;
+    accel_latency_seconds += other.accel_latency_seconds;
+    accel_energy_joules += other.accel_energy_joules;
+    host_dp_cells += other.host_dp_cells;
+  }
 
   double mapping_rate() const {
     return reads == 0 ? 0.0
@@ -49,40 +74,48 @@ struct MappingStats {
 class ReadMapper {
  public:
   /// Stores `segments` (cut from the reference at `stride`) into a fresh
-  /// accelerator. The segments are kept host-side for verification.
+  /// sharded accelerator of `shard_count` banks (1 = single-bank, the
+  /// previous behaviour). The segments are kept host-side for
+  /// verification.
   ReadMapper(AsmcapConfig config, std::vector<Sequence> segments,
-             std::size_t stride);
+             std::size_t stride, std::size_t shard_count = 1);
 
   /// Maps one read: accelerator filter at `threshold`, exact host
-  /// verification, traceback of the winner.
+  /// verification, traceback of the winner. Accumulates into stats().
   MappedRead map(const Sequence& read, std::size_t threshold,
                  StrategyMode mode = StrategyMode::Full);
 
-  /// Maps a batch and aggregates statistics. The accelerator filter and the
-  /// host verification both fan out across `workers` threads; per-read RNG
-  /// forking keeps the results identical for any worker count.
+  /// Maps a batch, accumulates into stats(), and returns the statistics
+  /// of THIS batch. The accelerator filter and the host verification both
+  /// fan out across `workers` threads on the session-owned pool; per-read
+  /// RNG forking keeps the results identical for any worker count.
   MappingStats map_batch(const std::vector<Sequence>& reads,
                          std::size_t threshold,
                          StrategyMode mode = StrategyMode::Full,
                          std::vector<MappedRead>* out = nullptr,
                          std::size_t workers = 1);
 
-  AsmcapAccelerator& accelerator() { return accelerator_; }
+  /// Cumulative statistics over every map()/map_batch() call since
+  /// construction (or the last reset_stats()).
+  const MappingStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MappingStats{}; }
+
+  ShardedAccelerator& accelerator() { return accelerator_; }
+  const ShardedAccelerator& accelerator() const { return accelerator_; }
 
   void set_error_profile(const ErrorRates& rates) {
     accelerator_.set_error_profile(rates);
   }
-  const AsmcapAccelerator& accelerator() const { return accelerator_; }
   std::size_t stride() const { return stride_; }
 
  private:
   /// Host-side verification of one accelerator result: exact banded ED on
   /// each reported row, traceback of the winner. Thread-safe; the DP cells
-  /// spent are returned through `dp_cells`.
+  /// actually evaluated are returned through `dp_cells`.
   MappedRead verify(const Sequence& read, const QueryResult& result,
                     std::size_t threshold, std::size_t* dp_cells) const;
 
-  AsmcapAccelerator accelerator_;
+  ShardedAccelerator accelerator_;
   std::vector<Sequence> segments_;
   std::size_t stride_;
   MappingStats stats_;

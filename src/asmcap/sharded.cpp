@@ -1,0 +1,176 @@
+#include "asmcap/sharded.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asmcap {
+
+ShardedAccelerator::ShardedAccelerator(AsmcapConfig config,
+                                       std::size_t shard_count)
+    : config_(config),
+      shard_count_(shard_count),
+      rates_(ErrorRates::condition_a()),
+      controller_(config),
+      rng_(config.seed) {
+  if (shard_count_ == 0)
+    throw std::invalid_argument("ShardedAccelerator: zero shards");
+}
+
+void ShardedAccelerator::load_reference(
+    const std::vector<Sequence>& segments) {
+  if (segments_loaded_ != 0)
+    throw std::logic_error("ShardedAccelerator: reference already loaded");
+  if (segments.empty())
+    throw std::invalid_argument("ShardedAccelerator: no segments");
+  if (segments.size() > capacity_segments())
+    throw std::length_error(
+        "ShardedAccelerator: database exceeds the sharded capacity");
+
+  // Contiguous balanced partition: shard s holds count/N segments plus one
+  // of the count%N leftovers. Every share fits one bank because
+  // ceil(count/N) <= bank capacity whenever count <= N * capacity. A tiny
+  // database may populate fewer banks than configured (at most one bank
+  // per segment) — empty banks are never built, so every active bank can
+  // execute queries.
+  const std::size_t total = segments.size();
+  active_shards_ = std::min(shard_count_, total);
+  bases_.assign(active_shards_ + 1, 0);
+  for (std::size_t s = 0; s < active_shards_; ++s)
+    bases_[s + 1] = bases_[s] + total / active_shards_ +
+                    (s < total % active_shards_ ? 1u : 0u);
+
+  banks_.reserve(active_shards_);
+  for (std::size_t s = 0; s < active_shards_; ++s) {
+    AsmcapConfig bank_config = config_;
+    // Bank 0 keeps the config's seed (the N == 1 bit-identity anchor);
+    // later banks are physically distinct chips with their own silicon
+    // streams (Rng::reseed splitmixes, so consecutive seeds decorrelate).
+    bank_config.seed = config_.seed + s;
+    bank_config.segment_base = config_.segment_base + bases_[s];
+    banks_.push_back(std::make_unique<AsmcapAccelerator>(bank_config));
+    banks_.back()->set_error_profile(rates_);
+    banks_.back()->set_backend(backend_kind_);
+    const std::vector<Sequence> block(segments.begin() + bases_[s],
+                                      segments.begin() + bases_[s + 1]);
+    banks_.back()->load_reference(block);
+  }
+  segments_loaded_ = total;
+}
+
+void ShardedAccelerator::set_error_profile(const ErrorRates& rates) {
+  rates_ = rates;
+  for (auto& bank : banks_) bank->set_error_profile(rates);
+}
+
+void ShardedAccelerator::set_backend(BackendKind kind) {
+  backend_kind_ = kind;
+  for (auto& bank : banks_) bank->set_backend(kind);
+}
+
+double ShardedAccelerator::load_energy_joules() const {
+  double energy = 0.0;
+  for (const auto& bank : banks_) energy += bank->load_energy_joules();
+  return energy;
+}
+
+double ShardedAccelerator::load_latency_seconds() const {
+  double latency = 0.0;
+  for (const auto& bank : banks_)
+    latency = std::max(latency, bank->load_latency_seconds());
+  return latency;
+}
+
+void ShardedAccelerator::check_loaded() const {
+  if (segments_loaded_ == 0)
+    throw std::logic_error("ShardedAccelerator: no reference loaded");
+}
+
+void ShardedAccelerator::check_shard(std::size_t s) const {
+  check_loaded();
+  if (s >= active_shards_)
+    throw std::out_of_range("ShardedAccelerator: shard index out of range");
+}
+
+QueryResult ShardedAccelerator::merge(const std::vector<QueryResult>& partials,
+                                      std::size_t first) const {
+  QueryResult merged;
+  merged.plan = partials[first].plan;
+  merged.decisions.assign(segments_loaded_, false);
+  for (std::size_t s = 0; s < active_shards_; ++s) {
+    const QueryResult& part = partials[first + s];
+    const std::size_t base = bases_[s];
+    for (std::size_t g = 0; g < part.decisions.size(); ++g)
+      merged.decisions[base + g] = part.decisions[g];
+    for (const std::size_t local : part.matched_segments)
+      merged.matched_segments.push_back(base + local);
+    // Banks search in parallel: a pass completes when the slowest bank
+    // does; energy is spent in every bank.
+    merged.latency_seconds =
+        std::max(merged.latency_seconds, part.latency_seconds);
+    merged.energy_joules += part.energy_joules;
+  }
+  return merged;
+}
+
+QueryResult ShardedAccelerator::search(const Sequence& read,
+                                       std::size_t threshold,
+                                       StrategyMode mode,
+                                       std::size_t workers) {
+  check_loaded();
+  if (read.size() != config_.array_cols)
+    throw std::invalid_argument("ShardedAccelerator: read width mismatch");
+
+  // Identical stream evolution to AsmcapAccelerator::search — the N == 1
+  // bit-identity anchor. Every bank executes the same plan against the
+  // same query stream; global-id RNG keying keeps their draws disjoint.
+  const ExecutionPlan plan =
+      controller_.planner().build(read, threshold, rates_, mode);
+  const Rng query_rng = rng_.fork(rng_.next());
+
+  std::vector<QueryResult> partials(active_shards_);
+  worker_pool(workers).parallel_for(active_shards_, [&](std::size_t s) {
+    partials[s] = banks_[s]->execute(plan, query_rng);
+  });
+  QueryResult result = merge(partials, 0);
+  controller_.record(result.plan, result.latency_seconds,
+                     result.energy_joules);
+  return result;
+}
+
+std::vector<QueryResult> ShardedAccelerator::search_batch(
+    const std::vector<Sequence>& reads, std::size_t threshold,
+    StrategyMode mode, std::size_t workers) {
+  check_loaded();
+  for (const Sequence& read : reads)
+    if (read.size() != config_.array_cols)
+      throw std::invalid_argument("ShardedAccelerator: read width mismatch");
+  if (reads.empty()) return {};
+
+  // Same per-read stream formula as the single-bank batch engine, forked
+  // from the router's master RNG: deterministic in read index, independent
+  // of worker count, non-perturbing.
+  const std::uint64_t epoch = ++batch_epoch_;
+  std::vector<ExecutionPlan> plans(reads.size());
+  std::vector<QueryResult> partials(reads.size() * active_shards_);
+  ThreadPool& pool = worker_pool(workers);
+  pool.parallel_for(reads.size(), [&](std::size_t i) {
+    plans[i] = controller_.planner().build(reads[i], threshold, rates_, mode);
+  });
+  pool.parallel_for(reads.size() * active_shards_, [&](std::size_t task) {
+    const std::size_t i = task / active_shards_;
+    const std::size_t s = task % active_shards_;
+    const Rng query_rng =
+        rng_.fork((epoch << 32) | static_cast<std::uint64_t>(i));
+    partials[task] = banks_[s]->execute(plans[i], query_rng);
+  });
+
+  std::vector<QueryResult> results(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    results[i] = merge(partials, i * active_shards_);
+    controller_.record(results[i].plan, results[i].latency_seconds,
+                       results[i].energy_joules);
+  }
+  return results;
+}
+
+}  // namespace asmcap

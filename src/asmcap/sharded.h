@@ -1,0 +1,152 @@
+#pragma once
+// Sharded multi-bank accelerator: the scale-out layer above
+// AsmcapAccelerator. A single bank caps the database at
+// array_count x array_rows segments; the sharded accelerator partitions
+// the stored reference across N independent banks — each with its own
+// arrays, backends, manufactured silicon (seed forked from the shard
+// index), and ledger — and puts a batch router on top:
+//
+//   ShardedAccelerator (router: plans once, fans (read x shard) tasks
+//        |              across the session pool, merges per-read results,
+//        |              keeps the aggregate ledger)
+//        +-- bank 0: AsmcapAccelerator [segments 0 .. c0)
+//        +-- bank 1: AsmcapAccelerator [segments c0 .. c0+c1)
+//        +-- ...
+//
+// Per-shard results are re-based into global segment ids and merged:
+// decisions are OR'd into the global bitmap (shards are disjoint, so this
+// is a scatter), latency is the max over shards for a pass (banks search
+// in parallel), energy is the sum, and the router's ledger records the
+// merged totals.
+//
+// Determinism contract (enforced by test_sharded):
+//  * shard_count == 1 is bit-identical to a plain AsmcapAccelerator with
+//    the same config — same decisions, energy, latency, and ledger —
+//    because bank 0 keeps the config's seed and the router's master RNG
+//    advances exactly like the monolithic accelerator's;
+//  * match decisions are invariant in shard count and worker count
+//    whenever the decision path is noise-free (FunctionalBackend, or
+//    CircuitBackend under ideal_sensing), because every per-decision RNG
+//    stream — including HDAC's selection coins — is keyed by *global*
+//    segment id (see backend.h). With noisy sensing, each shard count is
+//    a different set of manufactured chips, so noise differs physically;
+//    N == 1 equivalence still holds bit-for-bit.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "asmcap/accelerator.h"
+#include "asmcap/config.h"
+#include "asmcap/controller.h"
+#include "genome/sequence.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace asmcap {
+
+class ShardedAccelerator {
+ public:
+  /// `config` describes ONE bank's geometry; total capacity is
+  /// shard_count x config.capacity_segments().
+  ShardedAccelerator(AsmcapConfig config, std::size_t shard_count);
+
+  ShardedAccelerator(ShardedAccelerator&&) = delete;
+  ShardedAccelerator& operator=(ShardedAccelerator&&) = delete;
+
+  /// Partitions `segments` into contiguous, balanced per-bank blocks and
+  /// loads each bank. May be called once; throws std::length_error when
+  /// the database exceeds shard_count banks.
+  void load_reference(const std::vector<Sequence>& segments);
+
+  void set_error_profile(const ErrorRates& rates);
+  const ErrorRates& error_profile() const { return rates_; }
+
+  /// Switches every bank's execution backend (live, like the single-bank
+  /// accelerator).
+  void set_backend(BackendKind kind);
+  BackendKind backend_kind() const { return backend_kind_; }
+
+  /// Searches one read against the whole sharded database, fanning the
+  /// per-bank scans across `workers` threads (the latency path: one read
+  /// split across banks). Deterministic in worker count.
+  QueryResult search(const Sequence& read, std::size_t threshold,
+                     StrategyMode mode, std::size_t workers = 1);
+
+  /// Searches a batch: (read x shard) tasks across `workers` threads,
+  /// per-read RNG streams forked exactly like the single-bank batch
+  /// engine's. Results are bit-identical for any worker count.
+  std::vector<QueryResult> search_batch(const std::vector<Sequence>& reads,
+                                        std::size_t threshold,
+                                        StrategyMode mode,
+                                        std::size_t workers = 1);
+
+  std::size_t shard_count() const { return shard_count_; }
+  /// Banks actually populated by load_reference: min(shard_count, total
+  /// segments) — a tiny database never creates empty banks.
+  std::size_t active_shards() const {
+    check_loaded();
+    return active_shards_;
+  }
+  /// Bank `s` (s < active_shards()).
+  const AsmcapAccelerator& shard(std::size_t s) const {
+    check_shard(s);
+    return *banks_[s];
+  }
+  /// Global id of bank `s`'s first segment.
+  std::size_t shard_base(std::size_t s) const {
+    check_shard(s);
+    return bases_[s];
+  }
+  /// Segments stored in bank `s`.
+  std::size_t shard_segments(std::size_t s) const {
+    check_shard(s);
+    return bases_[s + 1] - bases_[s];
+  }
+
+  std::size_t loaded_segments() const { return segments_loaded_; }
+  std::size_t capacity_segments() const {
+    return shard_count_ * config_.capacity_segments();
+  }
+  /// One-time reference-load cost: banks write in parallel, so energy
+  /// sums and latency is the max over banks.
+  double load_energy_joules() const;
+  double load_latency_seconds() const;
+
+  /// Aggregate ledger of the merged per-read results (the per-bank
+  /// ledgers stay untouched: the router never calls bank search paths).
+  const ExecutionTotals& totals() const { return controller_.totals(); }
+  void reset_totals() { controller_.reset_totals(); }
+  const Controller& controller() const { return controller_; }
+  const AsmcapConfig& config() const { return config_; }
+
+  /// The router's session-owned worker pool (see SessionPool; shared
+  /// with ReadMapper's host verification).
+  ThreadPool& worker_pool(std::size_t workers = 0) {
+    return pool_.get(workers);
+  }
+
+ private:
+  void check_loaded() const;
+  void check_shard(std::size_t s) const;
+  /// Merges per-shard partials (shard-major for one read) into one global
+  /// result: decisions scattered by shard base, latency = max, energy = sum.
+  QueryResult merge(const std::vector<QueryResult>& partials,
+                    std::size_t first) const;
+
+  AsmcapConfig config_;
+  std::size_t shard_count_;
+  ErrorRates rates_;
+  BackendKind backend_kind_ = BackendKind::Circuit;
+  std::vector<std::unique_ptr<AsmcapAccelerator>> banks_;
+  std::vector<std::size_t> bases_;  ///< Prefix offsets into global ids.
+  std::size_t active_shards_ = 0;   ///< Populated banks (set at load).
+  std::size_t segments_loaded_ = 0;
+  Controller controller_;
+  std::uint64_t batch_epoch_ = 0;
+  Rng rng_;  ///< Router master stream; advances exactly like a bank's.
+  SessionPool pool_;
+};
+
+}  // namespace asmcap

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "asmcap/hdac.h"
+#include "asmcap/sharded.h"
 #include "asmcap/tasr.h"
 #include "circuit/area.h"
 #include "circuit/montecarlo.h"
@@ -27,6 +28,12 @@ Fig7Series Fig7Runner::run(const Dataset& dataset,
                            Rng& rng) const {
   if (thresholds.empty())
     throw std::invalid_argument("Fig7Runner: no thresholds");
+  if (config_.shards == 0) throw std::invalid_argument("Fig7Runner: 0 shards");
+  if (dataset.rows.size() >
+      config_.shards * config_.asmcap.capacity_segments())
+    throw std::length_error(
+        "Fig7Runner: dataset rows exceed the sharded capacity (raise "
+        "Fig7Config::shards)");
   const std::size_t ed_cap =
       *std::max_element(thresholds.begin(), thresholds.end());
 
@@ -141,6 +148,53 @@ Fig7Series Fig7Runner::run(const Dataset& dataset,
     series.points[t] = point;
   });
   return series;
+}
+
+ShardedComparisonResult run_sharded_comparison(
+    const ShardedComparisonConfig& config, const Dataset& dataset) {
+  ShardedComparisonResult out;
+  out.segments = dataset.rows.size();
+  out.shards = config.shards;
+
+  // The sharded filter: the whole query batch in one routed call.
+  ShardedAccelerator accel(config.bank, config.shards);
+  accel.set_error_profile(dataset.rates);
+  accel.load_reference(dataset.rows);
+
+  std::vector<Sequence> reads;
+  reads.reserve(dataset.queries.size());
+  for (const DatasetQuery& query : dataset.queries)
+    reads.push_back(query.read);
+  const std::vector<QueryResult> asmcap_results = accel.search_batch(
+      reads, config.threshold, config.mode, config.workers);
+
+  // CM-CPU is exact, so its decisions double as the ground truth.
+  const CmCpuBaseline cmcpu(config.cmcpu);
+  const std::vector<std::vector<bool>> truth = cmcpu.decide_batch(
+      reads, dataset.rows, config.threshold, config.workers);
+
+  KrakenLikeClassifier kraken(config.kraken);
+  kraken.index_rows(dataset.rows);
+  const std::vector<std::vector<bool>> kraken_pred =
+      kraken.decide_batch(reads, config.workers);
+
+  for (std::size_t q = 0; q < reads.size(); ++q) {
+    out.cm_asmcap.merge(confusion_from(asmcap_results[q].decisions, truth[q]));
+    out.cm_kraken.merge(confusion_from(kraken_pred[q], truth[q]));
+  }
+  out.asmcap_f1 = out.cm_asmcap.f1();
+  out.kraken_f1 = out.cm_kraken.f1();
+  out.accel_latency_seconds = accel.totals().latency_seconds;
+  out.accel_energy_joules = accel.totals().energy_joules;
+  out.cmcpu_seconds = static_cast<double>(reads.size()) *
+                      cmcpu.seconds_per_read(config.bank.array_cols,
+                                             dataset.rows.size(),
+                                             config.threshold);
+  out.cmcpu_joules = static_cast<double>(reads.size()) *
+                     cmcpu.joules_per_read(config.bank.array_cols,
+                                           dataset.rows.size(),
+                                           config.threshold);
+  return out;
 }
 
 std::vector<Table1Row> run_table1(const ProcessParams& process) {

@@ -9,6 +9,7 @@
 
 #include "asmcap/config.h"
 #include "asmcap/edam.h"
+#include "baseline/cmcpu.h"
 #include "baseline/kraken_like.h"
 #include "eval/metrics.h"
 #include "eval/sweep.h"
@@ -48,6 +49,13 @@ struct Fig7Config {
   /// replay. Every threshold forks its own noise stream, so results are
   /// worker-count independent.
   std::size_t workers = 1;
+  /// Deployment geometry: how many banks the stored rows are sharded
+  /// across. run() rejects datasets that exceed shards x bank capacity
+  /// (previously capacity was silently ignored). The replay's accuracy is
+  /// shard-invariant — every per-pair signal and noise stream is keyed by
+  /// (query, row), never by bank placement — so larger databases only
+  /// need a larger `shards` here.
+  std::size_t shards = 1;
 };
 
 class Fig7Runner {
@@ -63,6 +71,45 @@ class Fig7Runner {
  private:
   Fig7Config config_;
 };
+
+// ------------------------------------------------- sharded deployment -----
+
+/// Accuracy + energy comparison on a multi-bank database: the sharded
+/// accelerator (the paper's high-recall filter, scaled past one bank's
+/// capacity) against the Kraken-like exact k-mer classifier, with the
+/// CM-CPU baseline supplying both the gold-standard decisions and the
+/// modelled host cost. This is the Fig. 7-style comparison for databases
+/// that do not fit a single bank.
+struct ShardedComparisonConfig {
+  AsmcapConfig bank;          ///< ONE bank's geometry.
+  std::size_t shards = 2;
+  std::size_t threshold = 8;
+  StrategyMode mode = StrategyMode::Full;
+  KrakenLikeConfig kraken;
+  CmCpuConfig cmcpu;
+  std::size_t workers = 1;
+};
+
+struct ShardedComparisonResult {
+  std::size_t segments = 0;
+  std::size_t shards = 0;
+  ConfusionMatrix cm_asmcap;
+  ConfusionMatrix cm_kraken;
+  double asmcap_f1 = 0.0;
+  double kraken_f1 = 0.0;
+  /// Aggregate router-ledger totals for the whole query batch.
+  double accel_latency_seconds = 0.0;
+  double accel_energy_joules = 0.0;
+  /// Modelled CM-CPU cost for the same batch (the exact host doing all
+  /// the work itself, Fig. 8's normalisation subject).
+  double cmcpu_seconds = 0.0;
+  double cmcpu_joules = 0.0;
+};
+
+/// Runs the comparison on a dataset whose rows may span several banks.
+/// Throws std::length_error when the rows exceed the sharded capacity.
+ShardedComparisonResult run_sharded_comparison(
+    const ShardedComparisonConfig& config, const Dataset& dataset);
 
 // ---------------------------------------------------------------- Table I --
 

@@ -36,6 +36,12 @@ class ThreadPool {
   /// fn must be safe to call concurrently for distinct indices. The first
   /// exception thrown by any index is rethrown here (remaining indices may
   /// or may not run).
+  ///
+  /// NOT REENTRANT: the pool runs one job at a time (a single shared
+  /// job/generation slot), so fn must never call parallel_for on the same
+  /// pool — a nested call would clobber the in-flight job and deadlock or
+  /// miscount. Session owners (accelerator, sharded router, read mapper)
+  /// therefore run their parallel phases strictly one after another.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
@@ -62,6 +68,29 @@ class ThreadPool {
   std::shared_ptr<Job> job_;       ///< Current job (guarded by mutex_).
   std::uint64_t generation_ = 0;   ///< Bumped per job (guarded by mutex_).
   bool stop_ = false;
+};
+
+/// A lazily-created, session-owned ThreadPool handle: the pool is built at
+/// the first get() and reused across calls (the ROADMAP pool-reuse item —
+/// no per-batch pool churn). The pool only ever grows: a request for fewer
+/// workers reuses the existing larger pool instead of tearing it down, so
+/// mixed single/batch usage (workers=1 alternating with workers=8) churns
+/// no threads. That is sound because every parallel map in this codebase
+/// is worker-count invariant by construction. `workers == 0` means one
+/// worker per hardware thread. Not thread-safe itself: one owner
+/// (accelerator, sharded router) runs its parallel phases strictly one
+/// after another (parallel_for is not reentrant anyway).
+class SessionPool {
+ public:
+  ThreadPool& get(std::size_t workers = 0) {
+    if (workers == 0) workers = ThreadPool::hardware_workers();
+    if (!pool_ || pool_->workers() < workers)
+      pool_ = std::make_unique<ThreadPool>(workers);
+    return *pool_;
+  }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace asmcap

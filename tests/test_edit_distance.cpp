@@ -109,6 +109,33 @@ TEST(BandedEditDistance, FarPairsExitEarly) {
   EXPECT_FALSE(capped.within_band);
 }
 
+TEST(BandedEditDistance, CellsReportActualWorkDone) {
+  // The cells count backs the host-verification accounting: it must never
+  // exceed the worst-case band area, and the Ukkonen early exit must show
+  // up as a smaller charge for far pairs than for near ones.
+  Rng rng(50);
+  const std::size_t n = 256;
+  const std::size_t cap = 8;
+  const std::size_t worst = (n + 1) * (2 * cap + 1);
+  const Sequence a = Sequence::random(n, rng);
+
+  const CappedDistance self = banded_edit_distance(a, a, cap);
+  EXPECT_GT(self.cells, 0u);
+  EXPECT_LE(self.cells, worst);
+  // A full (no-exit) run evaluates nearly the whole band.
+  EXPECT_GT(self.cells, n * (2 * cap + 1) - 2 * cap * (cap + 1));
+
+  const Sequence b = Sequence::random(n, rng);
+  const CappedDistance far = banded_edit_distance(a, b, cap);
+  ASSERT_FALSE(far.within_band);
+  // Early exit: random pairs diverge after a handful of rows.
+  EXPECT_LT(far.cells, self.cells / 2);
+
+  // A short-circuited length gap does no DP work at all.
+  EXPECT_EQ(banded_edit_distance(a, Sequence::random(n / 2, rng), cap).cells,
+            0u);
+}
+
 TEST(EditDistanceWithin, MatchesExact) {
   Rng rng(51);
   for (int trial = 0; trial < 40; ++trial) {

@@ -93,6 +93,80 @@ TEST_F(ReadMapperTest, BatchStatsAggregate) {
   EXPECT_GE(stats.mean_candidates(), stats.mapping_rate());
 }
 
+TEST_F(ReadMapperTest, SingleReadMappingAccumulatesStats) {
+  // Regression: map() used to accumulate only host_dp_cells — reads,
+  // mapped, candidates, latency, and energy were never counted for
+  // single-read mapping.
+  (void)mapper_->map(segments_[3], 2);
+  (void)mapper_->map(segments_[7], 2);
+  const MappingStats& stats = mapper_->stats();
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.mapped, 2u);
+  EXPECT_GE(stats.total_candidates, 2u);
+  EXPECT_GT(stats.accel_latency_seconds, 0.0);
+  EXPECT_GT(stats.accel_energy_joules, 0.0);
+  EXPECT_GT(stats.host_dp_cells, 0u);
+
+  mapper_->reset_stats();
+  EXPECT_EQ(mapper_->stats().reads, 0u);
+  EXPECT_EQ(mapper_->stats().host_dp_cells, 0u);
+}
+
+TEST_F(ReadMapperTest, MixedSingleAndBatchUsageAccumulates) {
+  // Regression: map_batch() used to wipe everything map() had recorded.
+  Rng rng(1106);
+  ReadSimConfig sim_config;
+  sim_config.read_length = 64;
+  sim_config.rates = ErrorRates::condition_a();
+  const ReadSimulator sim(reference_, sim_config);
+  std::vector<Sequence> reads;
+  for (int i = 0; i < 10; ++i)
+    reads.push_back(sim.simulate_at(
+        static_cast<std::size_t>(rng.below(40)) * 64, rng).read);
+
+  (void)mapper_->map(segments_[11], 2);
+  const std::size_t single_cells = mapper_->stats().host_dp_cells;
+  EXPECT_GT(single_cells, 0u);
+  const MappingStats first_batch =
+      mapper_->map_batch(reads, 4, StrategyMode::Full);
+  EXPECT_EQ(first_batch.reads, 10u);  // the return value is batch-local
+  EXPECT_EQ(mapper_->stats().reads, 11u);
+  EXPECT_EQ(mapper_->stats().host_dp_cells,
+            single_cells + first_batch.host_dp_cells);
+  (void)mapper_->map(segments_[12], 2);
+  const MappingStats second_batch =
+      mapper_->map_batch(reads, 4, StrategyMode::Full);
+  EXPECT_EQ(second_batch.reads, 10u);
+  EXPECT_EQ(mapper_->stats().reads, 22u);
+  EXPECT_GE(mapper_->stats().mapped, first_batch.mapped + second_batch.mapped);
+}
+
+TEST_F(ReadMapperTest, HostDpCellsChargeActualBandedWork) {
+  // Regression: verification used to charge the worst-case band area
+  // read.size() * (2T + 1) per candidate even when the banded routine
+  // terminated early. The charge must now never exceed the worst case
+  // and must reflect early exits.
+  const std::size_t threshold = 4;
+  const std::size_t worst_per_candidate =
+      (64 + 1) * (2 * threshold + 1);  // (n+1) rows x band width
+  std::vector<MappedRead> mapped;
+  Rng rng(1107);
+  ReadSimConfig sim_config;
+  sim_config.read_length = 64;
+  sim_config.rates = ErrorRates::condition_b();  // heavier edit load
+  const ReadSimulator sim(reference_, sim_config);
+  std::vector<Sequence> reads;
+  for (int i = 0; i < 20; ++i)
+    reads.push_back(sim.simulate_at(
+        static_cast<std::size_t>(rng.below(40)) * 64, rng).read);
+  const MappingStats stats =
+      mapper_->map_batch(reads, threshold, StrategyMode::Full, &mapped);
+  ASSERT_GT(stats.total_candidates, 0u);
+  EXPECT_GT(stats.host_dp_cells, 0u);
+  EXPECT_LE(stats.host_dp_cells,
+            stats.total_candidates * worst_per_candidate);
+}
+
 TEST_F(ReadMapperTest, ConstructionValidation) {
   AsmcapConfig config;
   EXPECT_THROW(ReadMapper(config, {}, 64), std::invalid_argument);
