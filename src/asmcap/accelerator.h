@@ -11,6 +11,16 @@
 //
 // Reference segments are loaded once; reads are then searched in parallel
 // against every stored row with the configured correction strategies.
+//
+// Ownership: the accelerator owns its array units, backends, controller,
+// and session pool; backends hold non-owning references into it (hence
+// not movable). Thread-safety: the mutating entry points (load_reference,
+// search, search_batch, set_*) belong to one control thread at a time;
+// execute() is const and thread-safe and is what the batch engine, the
+// sharded router, and the streaming service fan across workers.
+// Reentrancy: never call back into the accelerator's blocking entry
+// points from inside a pool task — parallel_for is not reentrant (see
+// util/thread_pool.h). RNG discipline: docs/determinism.md.
 
 #include <cstddef>
 #include <cstdint>

@@ -12,16 +12,23 @@
 //    order of magnitude faster for large sweeps. Under ideal_sensing the
 //    two backends are decision-identical (enforced by test_engine).
 //
-// run_pass is const and thread-safe: concurrent batch workers share one
-// backend, each supplying its own forked RNG stream.
+// Ownership: backends are owned by their accelerator and hold non-owning
+// references into it (CircuitBackend) or private packed copies of the
+// segments (FunctionalBackend); the accelerator must outlive them.
+// Thread-safety: run_pass is const and thread-safe — concurrent batch
+// workers share one backend, each supplying its own forked RNG stream.
+// Reentrancy: run_pass never dispatches work to a pool, so it is safe to
+// call from inside pool tasks (the service does exactly that).
 //
-// RNG discipline: a pass never draws from the query stream sequentially.
-// It forks a pass stream (query_rng.fork(pass_salt)) and then forks one
-// decision stream per row, keyed by the row's *global* segment id
-// (segment_base + local id). Every decision is therefore a pure function
-// of (query stream, pass, global segment) — independent of segment
-// placement, bank layout, and evaluation order. This is what makes the
-// sharded accelerator's decisions invariant in shard count.
+// RNG discipline (specified in full in docs/determinism.md): a pass never
+// draws from the query stream sequentially. It forks a pass stream
+// (query_rng.fork(pass_salt)) and then forks one decision stream per row,
+// keyed by the row's *global* segment id (segment_base + local id). Every
+// decision is therefore a pure function of (query stream, pass, global
+// segment) — independent of segment placement, bank layout, and
+// evaluation order. This is what makes the sharded accelerator's
+// decisions invariant in shard count and the streaming service's
+// decisions invariant in completion order.
 
 #include <cstddef>
 #include <cstdint>

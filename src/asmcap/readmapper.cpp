@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "align/edit_distance.h"
+#include "asmcap/service.h"
 
 namespace asmcap {
 
@@ -66,17 +67,25 @@ MappingStats ReadMapper::map_batch(const std::vector<Sequence>& reads,
                                    std::size_t threshold, StrategyMode mode,
                                    std::vector<MappedRead>* out,
                                    std::size_t workers) {
-  const std::vector<QueryResult> results =
-      accelerator_.search_batch(reads, threshold, mode, workers);
-
   std::vector<MappedRead> mapped(reads.size());
   std::vector<std::size_t> dp_cells(reads.size(), 0);
-  // Verification reuses the accelerator's session pool (the filter phase
-  // above has fully drained it; parallel_for is not reentrant).
-  accelerator_.worker_pool(workers).parallel_for(
-      reads.size(), [&](std::size_t i) {
-        mapped[i] = verify(reads[i], results[i], threshold, &dp_cells[i]);
-      });
+  // Streaming filter: each read's exact host verification starts the
+  // moment its last shard merges, on the worker that completed it — host
+  // DP overlaps the in-flight accelerator passes of later reads instead
+  // of waiting for the whole batch to drain. verify() is const and
+  // thread-safe, distinct reads write distinct slots, and the filter
+  // results are released as soon as each read is verified
+  // (keep_results = false), so accelerator-result memory stays bounded by
+  // the admission window.
+  SearchService service(accelerator_);
+  SearchService::Options options;
+  options.workers = workers;
+  options.keep_results = false;
+  options.on_complete = [&](std::size_t i, const QueryResult& result) {
+    mapped[i] = verify(reads[i], result, threshold, &dp_cells[i]);
+  };
+  // Borrowed: `reads` outlives the wait, so no copy into the ticket.
+  service.submit_borrowed(reads, threshold, mode, options)->wait();
 
   MappingStats batch;
   for (std::size_t i = 0; i < mapped.size(); ++i) {

@@ -11,7 +11,18 @@
 // host-side verification is unchanged by sharding because the segments
 // stay host-side and match reports arrive re-based to global ids. With
 // shard_count == 1 (the default) the mapper behaves bit-identically to
-// one built on a plain AsmcapAccelerator.
+// one built on a plain AsmcapAccelerator. map_batch streams through the
+// SearchService: each read is verified on the worker that merged it,
+// overlapping host DP with the in-flight accelerator passes of later
+// reads.
+//
+// Ownership: the mapper owns its sharded accelerator and a host-side
+// copy of the segments. Thread-safety: map/map_batch and stats belong to
+// one control thread at a time (they mutate the cumulative stats);
+// verify() is const and thread-safe, which is what lets it run inside
+// service completion callbacks. Reentrancy: do not call the mapper from
+// inside a pool task (parallel_for is not reentrant; see
+// util/thread_pool.h).
 
 #include <cstddef>
 #include <vector>

@@ -1,0 +1,309 @@
+#include "asmcap/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asmcap {
+
+// ------------------------------------------------------------- SearchTicket
+
+SearchTicket::SearchTicket(ShardedAccelerator& accelerator,
+                           std::vector<Sequence> reads, std::size_t threshold,
+                           StrategyMode mode)
+    : accel_(&accelerator),
+      owned_reads_(std::move(reads)),
+      reads_(&owned_reads_),
+      threshold_(threshold),
+      mode_(mode),
+      slots_(reads_->size()) {}
+
+SearchTicket::SearchTicket(ShardedAccelerator& accelerator,
+                           const std::vector<Sequence>* reads,
+                           std::size_t threshold, StrategyMode mode)
+    : accel_(&accelerator),
+      reads_(reads),
+      threshold_(threshold),
+      mode_(mode),
+      slots_(reads_->size()) {}
+
+bool SearchTicket::ready(std::size_t i) const {
+  if (i >= slots_.size())
+    throw std::out_of_range("SearchTicket: read index out of range");
+  return slots_[i].ready.load(std::memory_order_acquire);
+}
+
+const QueryResult& SearchTicket::result(std::size_t i) const {
+  if (!ready(i))
+    throw std::logic_error("SearchTicket: read has not completed yet");
+  if (!keep_results_ || drained_.load(std::memory_order_acquire))
+    throw std::logic_error("SearchTicket: result no longer held");
+  if (slots_[i].failed.load(std::memory_order_acquire))
+    throw std::logic_error("SearchTicket: read failed (wait() rethrows)");
+  return slots_[i].merged;
+}
+
+void SearchTicket::wait() {
+  group_.wait();
+  // Ledger totals flush once, sequentially in read order — the exact
+  // recording order of the synchronous batch path — BEFORE any error is
+  // rethrown: a read that executed spent real energy whether or not its
+  // consumer callback later failed, so consumer errors must not drop the
+  // batch from the ledger. Reads that themselves failed are skipped.
+  if (!recorded_) {
+    for (const Slot& slot : slots_)
+      if (!slot.failed.load(std::memory_order_acquire))
+        accel_->controller_.record(slot.ledger_plan, slot.ledger_latency,
+                                   slot.ledger_energy);
+    recorded_ = true;
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<QueryResult> SearchTicket::drain() {
+  if (!keep_results_)
+    throw std::logic_error(
+        "SearchTicket: drain() needs Options::keep_results");
+  wait();
+  if (drained_.exchange(true, std::memory_order_acq_rel))
+    throw std::logic_error("SearchTicket: already drained");
+  std::vector<QueryResult> results;
+  results.reserve(slots_.size());
+  for (Slot& slot : slots_) results.push_back(std::move(slot.merged));
+  return results;
+}
+
+void SearchTicket::record_error(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!error_) error_ = error;
+}
+
+void SearchTicket::release_result(Slot& slot) { slot.merged = QueryResult(); }
+
+void SearchTicket::admit_next() {
+  // Iterative (not recursive) so a persistently failing pool submit marks
+  // every remaining read failed and the group still drains — wait()
+  // rethrows instead of deadlocking or terminating a worker.
+  for (;;) {
+    const std::size_t i = next_admit_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= slots_.size()) return;
+    const std::size_t now =
+        in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::size_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_in_flight_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    auto self = shared_from_this();
+    try {
+      pool_->submit([self, i] { self->run_read(i); });
+      return;
+    } catch (...) {
+      record_error(std::current_exception());
+      Slot& slot = slots_[i];
+      slot.failed.store(true, std::memory_order_release);
+      // Retire inline (the enclosing loop already advances to the next
+      // read — no admit_next recursion) and publish ready last so a
+      // re-sequencer scan finding this slot sees it already retired.
+      slot.retired.store(true, std::memory_order_release);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      slot.ready.store(true, std::memory_order_release);
+      finish_one();
+    }
+  }
+}
+
+void SearchTicket::run_read(std::size_t i) {
+  Slot& slot = slots_[i];
+  const std::size_t shards = accel_->active_shards_;
+  try {
+    // Same deterministic recipe as the synchronous batch: one plan per
+    // read, one RNG stream forked from (master state, epoch, read index).
+    slot.plan = accel_->controller_.planner().build(
+        (*reads_)[i], threshold_, accel_->rates_, mode_);
+    slot.rng = master_.fork((epoch_ << 32) | static_cast<std::uint64_t>(i));
+    if (shards == 1) {
+      // Single-bank router: the bank's result is already global (base 0,
+      // full-width decision bitmap) — no partial staging, no rebase/merge.
+      slot.merged = accel_->banks_[0]->execute(slot.plan, slot.rng);
+      complete_read(i);
+      return;
+    }
+    slot.partials.resize(shards);
+    slot.shards_left.store(shards, std::memory_order_relaxed);
+  } catch (...) {
+    record_error(std::current_exception());
+    slot.failed.store(true, std::memory_order_release);
+    complete_read(i);
+    return;
+  }
+  std::size_t launched = 0;
+  try {
+    for (std::size_t s = 1; s < shards; ++s) {
+      auto self = shared_from_this();
+      pool_->submit([self, i, s] { self->run_shard(i, s); });
+      ++launched;
+    }
+  } catch (...) {
+    // A task that never launched will never decrement shards_left: take
+    // its decrements here. Shard 0 below is still outstanding, so this
+    // cannot complete the read — no double-completion is possible.
+    record_error(std::current_exception());
+    slot.failed.store(true, std::memory_order_release);
+    slot.shards_left.fetch_sub(shards - 1 - launched,
+                               std::memory_order_acq_rel);
+  }
+  run_shard(i, 0);  // this task doubles as the shard-0 executor
+}
+
+void SearchTicket::run_shard(std::size_t i, std::size_t s) {
+  Slot& slot = slots_[i];
+  try {
+    slot.partials[s] = accel_->banks_[s]->execute(slot.plan, slot.rng);
+  } catch (...) {
+    record_error(std::current_exception());
+    slot.failed.store(true, std::memory_order_release);
+  }
+  if (slot.shards_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last shard of this read: merge in shard order (identical floating-
+    // point summation order to the synchronous path, however the shards
+    // actually finished) and release the staging buffer immediately. A
+    // merge failure (allocation) is recorded like an execute failure so
+    // it surfaces at wait() instead of escaping the pool task.
+    try {
+      if (!slot.failed.load(std::memory_order_acquire))
+        slot.merged = accel_->merge(slot.partials, 0);
+    } catch (...) {
+      record_error(std::current_exception());
+      slot.failed.store(true, std::memory_order_release);
+    }
+    std::vector<QueryResult>().swap(slot.partials);
+    complete_read(i);
+  }
+}
+
+void SearchTicket::complete_read(std::size_t i) {
+  Slot& slot = slots_[i];
+  slot.ledger_plan = slot.merged.plan;
+  slot.ledger_latency = slot.merged.latency_seconds;
+  slot.ledger_energy = slot.merged.energy_joules;
+  slot.ready.store(true, std::memory_order_release);
+  emit(i);       // delivery retires the read (returns admission budget)
+  finish_one();  // last: wait() returning implies emission is done
+}
+
+void SearchTicket::retire(std::size_t i) {
+  // Returns the read's admission budget exactly once — at DELIVERY, not
+  // at merge: with the in-order re-sequencer, a read merged early but
+  // held for its turn still counts against max_in_flight, so the
+  // undelivered backlog (and its held results) stays bounded by the
+  // window instead of growing to O(batch).
+  if (slots_[i].retired.exchange(true, std::memory_order_acq_rel)) return;
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  admit_next();
+}
+
+void SearchTicket::finish_one() {
+  const std::size_t done =
+      completed_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Last read of the submission: this ticket no longer has in-flight
+  // tasks, so it stops pinning the session pool against replacement.
+  if (done == slots_.size()) accel_->pool_.unpin();
+  group_.finish();
+}
+
+void SearchTicket::emit(std::size_t i) {
+  if (!on_complete_) {
+    // Pure pollers with keep_results == false asked for O(in-flight)
+    // memory too: release as soon as the read merges.
+    if (!keep_results_) release_result(slots_[i]);
+    retire(i);
+    return;
+  }
+  const auto deliver = [this](std::size_t index, Slot& slot) {
+    if (!slot.failed.load(std::memory_order_acquire)) {
+      try {
+        on_complete_(index, slot.merged);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+    }
+    if (!keep_results_) release_result(slot);
+    retire(index);
+  };
+  if (!in_order_) {
+    deliver(i, slots_[i]);
+    return;
+  }
+  // Re-sequencer: whoever completes a read flushes the longest ready
+  // prefix. Setting `ready` before taking seq_mutex_ guarantees a read is
+  // never stranded — if this thread's scan stops short of read i, the
+  // thread blocking the prefix will see i ready when its own scan runs.
+  std::lock_guard<std::mutex> lock(seq_mutex_);
+  while (next_emit_ < slots_.size() &&
+         slots_[next_emit_].ready.load(std::memory_order_acquire)) {
+    deliver(next_emit_, slots_[next_emit_]);
+    ++next_emit_;
+  }
+}
+
+// ------------------------------------------------------------ SearchService
+
+void SearchService::validate(const std::vector<Sequence>& reads) const {
+  accel_->check_loaded();
+  for (const Sequence& read : reads)
+    if (read.size() != accel_->config_.array_cols)
+      throw std::invalid_argument("SearchService: read width mismatch");
+}
+
+std::shared_ptr<SearchTicket> SearchService::submit(
+    std::vector<Sequence> reads, std::size_t threshold, StrategyMode mode,
+    const Options& options) {
+  validate(reads);
+  return launch(std::shared_ptr<SearchTicket>(new SearchTicket(
+                    *accel_, std::move(reads), threshold, mode)),
+                options);
+}
+
+std::shared_ptr<SearchTicket> SearchService::submit_borrowed(
+    const std::vector<Sequence>& reads, std::size_t threshold,
+    StrategyMode mode, const Options& options) {
+  validate(reads);
+  return launch(std::shared_ptr<SearchTicket>(
+                    new SearchTicket(*accel_, &reads, threshold, mode)),
+                options);
+}
+
+std::shared_ptr<SearchTicket> SearchService::launch(
+    std::shared_ptr<SearchTicket> ticket, const Options& options) {
+  ticket->keep_results_ = options.keep_results;
+  ticket->in_order_ = options.in_order;
+  ticket->on_complete_ = options.on_complete;
+  // An empty submission is already done and, like the synchronous path,
+  // leaves the batch epoch untouched.
+  if (ticket->slots_.empty()) return ticket;
+
+  // Pin the session pool for the ticket's lifetime: while pinned, a
+  // wider worker_pool() request is clamped to the live pool instead of
+  // replacing it under this ticket's running tasks (unpinned by
+  // finish_one when the last read completes).
+  ticket->pool_ = &accel_->worker_pool(options.workers);
+  accel_->pool_.pin();
+
+  // Snapshot the master stream on the control thread: workers fork from
+  // the copy, so nothing in this ticket ever touches the live rng_.
+  ticket->master_ = accel_->rng_;
+  ticket->epoch_ = ++accel_->batch_epoch_;
+  std::size_t cap = options.max_in_flight;
+  if (cap == 0) cap = 2 * ticket->pool_->workers();
+  ticket->max_in_flight_ = cap;
+  ticket->group_.start(ticket->slots_.size());
+  const std::size_t first_wave = std::min(cap, ticket->slots_.size());
+  for (std::size_t k = 0; k < first_wave; ++k) ticket->admit_next();
+  return ticket;
+}
+
+}  // namespace asmcap

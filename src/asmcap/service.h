@@ -1,0 +1,259 @@
+#pragma once
+// Streaming search service: an asynchronous submit/poll/drain layer over
+// the sharded accelerator, for service-style deployments where reads
+// arrive while earlier ones are still executing.
+//
+//   SearchService::submit(reads) returns a SearchTicket immediately; the
+//   (read x shard) work fans out over the router's session pool behind it.
+//   Each read completes — merged, re-based to global segment ids — the
+//   moment its LAST shard finishes, independent of every other read:
+//
+//     submit ──► admit (≤ max_in_flight reads)                ┐ per read:
+//                  read i: plan + fork RNG stream             │ plan once,
+//                     ├─ bank 0 ─┐                            │ execute on
+//                     ├─ bank 1 ─┼─► last shard merges ──►    │ every bank,
+//                     └─ bank N ─┘    complete(i): callback / │ merge at
+//                                     poll-ready / admit next │ completion
+//
+// Peak partial-result memory is O(max_in_flight x shards), not
+// O(batch x shards): a read's per-shard staging buffer exists only while
+// that read is in flight, and is released as soon as it is merged (a
+// single-shard router stages nothing at all — the bank's result is
+// already global). Admission is throttled, so an arbitrarily large
+// submission never materialises more than max_in_flight staging buffers.
+//
+// Three consumption styles (combinable per submission, with one rule:
+// cross-thread pollers must stop using result() references before the
+// control thread calls drain(), which moves the results out):
+//  * poll      — ticket->ready(i) / ticket->result(i) per read,
+//                ticket->completed() / done() for progress;
+//  * streaming — Options::on_complete fires as each read merges, in
+//                arrival order, or in read order with Options::in_order
+//                (a re-sequencer holds completed reads until their turn);
+//                with Options::keep_results = false the merged result is
+//                released right after the callback, so the whole pipeline
+//                is O(in-flight) rather than O(batch);
+//  * drain     — ticket->drain() blocks and returns all results in read
+//                order (what ShardedAccelerator::search_batch now does).
+//
+// Determinism: decisions are BIT-IDENTICAL to the synchronous
+// search_batch path (enforced by tests/test_service.cpp). Each read's RNG
+// stream is the same deterministic function of (router master stream,
+// batch epoch, read index) the synchronous engine uses, and per-read
+// merging preserves the shard summation order, so neither completion
+// order, worker count, nor in-flight depth can perturb decisions, energy,
+// latency, or the ledger. See docs/determinism.md.
+//
+// Ownership: SearchService borrows the ShardedAccelerator (non-owning);
+// tickets hold work that runs on the accelerator's session pool, so a
+// ticket must not outlive the accelerator. A ticket is kept alive by its
+// in-flight tasks — dropping the shared_ptr early is safe, but wait()/
+// drain() is the only way to observe errors and to flush the ledger.
+// Thread-safety: the control plane (submit, wait, drain, and any other
+// search on the same accelerator) belongs to ONE thread at a time, like
+// every other accelerator entry point; ready()/result()/completed() may
+// be called from any thread while workers execute. The control thread MAY
+// interleave sequential search()/map() calls while a ticket is in flight:
+// each ticket forks its per-read streams from a snapshot of the master
+// RNG taken at submit (never from the live state), and worker_pool()
+// clamps growth while tickets are outstanding, so an interleaved search
+// neither races the ticket nor perturbs its decisions. on_complete fires on
+// worker threads (or inline on the submitting thread when the pool has no
+// spawned threads) and must be thread-safe for distinct reads; exceptions
+// it throws are captured and rethrown at wait(). Reentrancy: callbacks
+// must not call back into the accelerator's blocking entry points
+// (search/search_batch/parallel_for) — they run inside pool tasks.
+//
+// The ledger: totals for the whole submission are recorded at wait()
+// (which drain() calls), sequentially in read order — exactly the
+// synchronous batch's recording order.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "asmcap/accelerator.h"
+#include "asmcap/planner.h"
+#include "asmcap/sharded.h"
+#include "genome/sequence.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace asmcap {
+
+class SearchService;
+
+/// Handle to one asynchronous submission. Created only by
+/// SearchService::submit; see the file comment for the threading contract.
+class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
+ public:
+  /// Reads in this submission.
+  std::size_t size() const { return slots_.size(); }
+
+  /// Reads merged so far (monotonic; completed() == size() once done).
+  std::size_t completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+  bool done() const { return completed() == slots_.size(); }
+
+  /// True once read `i` has merged and result(i) is available.
+  bool ready(std::size_t i) const;
+
+  /// The merged result of read `i`. Throws std::logic_error if the read
+  /// has not completed yet, if Options::keep_results was false, or after
+  /// drain() moved the results out.
+  const QueryResult& result(std::size_t i) const;
+
+  /// Blocks until every read has merged, rethrows the first error (from
+  /// execution or from on_complete), then records the whole submission in
+  /// the accelerator's ledger in read order (once). Control-plane only.
+  void wait();
+
+  /// wait(), then moves all results out in read order. Control-plane
+  /// only; requires Options::keep_results (the default).
+  std::vector<QueryResult> drain();
+
+  /// Admission throttle this ticket runs under.
+  std::size_t max_in_flight() const { return max_in_flight_; }
+  /// Highest number of simultaneously in-flight reads observed — the
+  /// partial-result memory bound actually reached (<= max_in_flight()).
+  std::size_t peak_in_flight() const {
+    return peak_in_flight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class SearchService;
+
+  /// Per-read state. `partials` exists only between admission and merge
+  /// (and never exists when the router has a single active shard).
+  struct Slot {
+    ExecutionPlan plan;
+    Rng rng;
+    std::vector<QueryResult> partials;
+    std::atomic<std::size_t> shards_left{0};
+    QueryResult merged;
+    QueryPlan ledger_plan;  ///< Kept for wait() after merged is released.
+    double ledger_latency = 0.0;
+    double ledger_energy = 0.0;
+    std::atomic<bool> ready{false};
+    std::atomic<bool> failed{false};
+    std::atomic<bool> retired{false};  ///< Admission budget returned.
+  };
+
+  /// Owning form (reads moved in) and borrowing form (reads stay with the
+  /// caller, which must keep them alive and unmodified until done).
+  SearchTicket(ShardedAccelerator& accelerator, std::vector<Sequence> reads,
+               std::size_t threshold, StrategyMode mode);
+  SearchTicket(ShardedAccelerator& accelerator,
+               const std::vector<Sequence>* reads, std::size_t threshold,
+               StrategyMode mode);
+
+  void admit_next();
+  void run_read(std::size_t i);
+  void run_shard(std::size_t i, std::size_t s);
+  void complete_read(std::size_t i);
+  void finish_one();
+  void emit(std::size_t i);
+  void retire(std::size_t i);
+  void record_error(std::exception_ptr error);
+  void release_result(Slot& slot);
+
+  ShardedAccelerator* accel_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<Sequence> owned_reads_;        ///< Owning submissions only.
+  const std::vector<Sequence>* reads_;       ///< The batch (owned or not).
+  /// Snapshot of the router's master RNG at submit: workers fork per-read
+  /// streams from this copy, never from the live rng_ — so a sequential
+  /// search() interleaved with an in-flight ticket neither races the RNG
+  /// state nor perturbs this ticket's streams (bit-identity preserved:
+  /// fork() is a pure function of state and stream index).
+  Rng master_;
+  std::size_t threshold_;
+  StrategyMode mode_;
+  std::uint64_t epoch_ = 0;
+  std::size_t max_in_flight_ = 1;
+  bool keep_results_ = true;
+  bool in_order_ = false;
+  std::function<void(std::size_t, const QueryResult&)> on_complete_;
+
+  std::vector<Slot> slots_;  ///< Sized once at submit; never reallocated.
+  std::atomic<std::size_t> next_admit_{0};
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::size_t> peak_in_flight_{0};
+  std::atomic<std::size_t> completed_{0};
+  TaskGroup group_;
+
+  std::mutex seq_mutex_;      ///< Re-sequencer state below.
+  std::size_t next_emit_ = 0;
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+
+  bool recorded_ = false;             ///< Ledger flushed (control plane).
+  std::atomic<bool> drained_{false};  ///< Results moved out by drain().
+};
+
+/// Knobs of one SearchService::submit call. (Namespace-scope so the
+/// default member initializers are usable in submit's default argument.)
+struct ServiceOptions {
+  /// Pool width for the fan-out (same meaning as search_batch's
+  /// `workers`; 0 = one per hardware thread).
+  std::size_t workers = 1;
+  /// Admission throttle: reads allowed in flight at once (the
+  /// partial-result memory bound). 0 = 2 x the pool's worker count.
+  std::size_t max_in_flight = 0;
+  /// Streaming callback: fires once per read as it merges, with the
+  /// read's index within the submission and its merged result. Runs on
+  /// worker threads; see the file comment.
+  std::function<void(std::size_t, const QueryResult&)> on_complete;
+  /// Deliver on_complete in read order instead of arrival order (a
+  /// re-sequencer holds early finishers; delivery is serialised). A read
+  /// returns its admission slot at DELIVERY, so the held-back backlog —
+  /// results merged early but waiting their turn — also stays within
+  /// max_in_flight rather than growing with the batch.
+  bool in_order = false;
+  /// Keep merged results for result()/drain(). Set false for pure
+  /// streaming consumers: each result is released right after its
+  /// callback, bounding total result memory by in-flight reads.
+  bool keep_results = true;
+};
+
+class SearchService {
+ public:
+  using Options = ServiceOptions;
+
+  /// Borrows `accelerator` (which must be loaded and must outlive the
+  /// service and every ticket).
+  explicit SearchService(ShardedAccelerator& accelerator)
+      : accel_(&accelerator) {}
+
+  /// Starts an asynchronous batch search and returns immediately, taking
+  /// ownership of `reads` (pass an rvalue to avoid the copy). Width
+  /// validation happens here (throws like search_batch); everything after
+  /// runs on the accelerator's session pool. Control-plane only.
+  std::shared_ptr<SearchTicket> submit(std::vector<Sequence> reads,
+                                       std::size_t threshold,
+                                       StrategyMode mode,
+                                       const Options& options = Options());
+
+  /// Like submit(), but borrows the caller's vector instead of copying:
+  /// `reads` must stay alive and unmodified until the ticket is done.
+  /// This is what the blocking wrappers (search_batch, map_batch) use —
+  /// their caller's vector outlives their wait by construction.
+  std::shared_ptr<SearchTicket> submit_borrowed(
+      const std::vector<Sequence>& reads, std::size_t threshold,
+      StrategyMode mode, const Options& options = Options());
+
+ private:
+  void validate(const std::vector<Sequence>& reads) const;
+  std::shared_ptr<SearchTicket> launch(std::shared_ptr<SearchTicket> ticket,
+                                       const Options& options);
+
+  ShardedAccelerator* accel_;
+};
+
+}  // namespace asmcap

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "asmcap/service.h"
+
 namespace asmcap {
 
 ShardedAccelerator::ShardedAccelerator(AsmcapConfig config,
@@ -140,37 +142,20 @@ QueryResult ShardedAccelerator::search(const Sequence& read,
 std::vector<QueryResult> ShardedAccelerator::search_batch(
     const std::vector<Sequence>& reads, std::size_t threshold,
     StrategyMode mode, std::size_t workers) {
-  check_loaded();
-  for (const Sequence& read : reads)
-    if (read.size() != config_.array_cols)
-      throw std::invalid_argument("ShardedAccelerator: read width mismatch");
-  if (reads.empty()) return {};
-
-  // Same per-read stream formula as the single-bank batch engine, forked
-  // from the router's master RNG: deterministic in read index, independent
-  // of worker count, non-perturbing.
-  const std::uint64_t epoch = ++batch_epoch_;
-  std::vector<ExecutionPlan> plans(reads.size());
-  std::vector<QueryResult> partials(reads.size() * active_shards_);
-  ThreadPool& pool = worker_pool(workers);
-  pool.parallel_for(reads.size(), [&](std::size_t i) {
-    plans[i] = controller_.planner().build(reads[i], threshold, rates_, mode);
-  });
-  pool.parallel_for(reads.size() * active_shards_, [&](std::size_t task) {
-    const std::size_t i = task / active_shards_;
-    const std::size_t s = task % active_shards_;
-    const Rng query_rng =
-        rng_.fork((epoch << 32) | static_cast<std::uint64_t>(i));
-    partials[task] = banks_[s]->execute(plans[i], query_rng);
-  });
-
-  std::vector<QueryResult> results(reads.size());
-  for (std::size_t i = 0; i < reads.size(); ++i) {
-    results[i] = merge(partials, i * active_shards_);
-    controller_.record(results[i].plan, results[i].latency_seconds,
-                       results[i].energy_joules);
-  }
-  return results;
+  // Thin blocking wrapper over the streaming service: submit the batch,
+  // drain it in read order. The service uses the same per-read stream
+  // formula as the single-bank batch engine (forked from the router's
+  // master RNG: deterministic in read index, independent of worker count,
+  // non-perturbing) and records the ledger in read order at drain, so
+  // this is bit-identical to the former eager implementation — but peak
+  // partial-result memory is bounded by the admission window instead of
+  // reads x shards, and a single-shard router skips partial staging
+  // entirely.
+  SearchService service(*this);
+  SearchService::Options options;
+  options.workers = workers;
+  // Borrowed: `reads` outlives the drain, so no copy into the ticket.
+  return service.submit_borrowed(reads, threshold, mode, options)->drain();
 }
 
 }  // namespace asmcap

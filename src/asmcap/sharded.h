@@ -19,7 +19,18 @@
 // in parallel), energy is the sum, and the router's ledger records the
 // merged totals.
 //
-// Determinism contract (enforced by test_sharded):
+// Ownership: the router owns its banks, controller, and session pool (the
+// pool is shared with SearchService tickets and ReadMapper verification).
+// Thread-safety: like the single-bank accelerator, the mutating entry
+// points (load_reference, search, search_batch, set_*, and
+// SearchService::submit/wait/drain on top of it) belong to one control
+// thread at a time; the per-bank execute() fan-out is what runs
+// concurrently. Reentrancy: the fan-out uses the session pool —
+// parallel_for is not reentrant (util/thread_pool.h), so never search
+// from inside a pool task or service callback.
+//
+// Determinism contract (enforced by test_sharded; full discipline in
+// docs/determinism.md):
 //  * shard_count == 1 is bit-identical to a plain AsmcapAccelerator with
 //    the same config — same decisions, energy, latency, and ledger —
 //    because bank 0 keeps the config's seed and the router's master RNG
@@ -32,6 +43,7 @@
 //    a different set of manufactured chips, so noise differs physically;
 //    N == 1 equivalence still holds bit-for-bit.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -45,6 +57,9 @@
 #include "util/thread_pool.h"
 
 namespace asmcap {
+
+class SearchService;
+class SearchTicket;
 
 class ShardedAccelerator {
  public:
@@ -76,7 +91,11 @@ class ShardedAccelerator {
 
   /// Searches a batch: (read x shard) tasks across `workers` threads,
   /// per-read RNG streams forked exactly like the single-bank batch
-  /// engine's. Results are bit-identical for any worker count.
+  /// engine's. Results are bit-identical for any worker count. This is a
+  /// thin blocking wrapper over SearchService (submit + drain), so peak
+  /// partial-result memory is bounded by the in-flight admission window,
+  /// not by reads x shards; use the service directly (asmcap/service.h)
+  /// for asynchronous submit/poll and per-read result streaming.
   std::vector<QueryResult> search_batch(const std::vector<Sequence>& reads,
                                         std::size_t threshold,
                                         StrategyMode mode,
@@ -122,12 +141,22 @@ class ShardedAccelerator {
   const AsmcapConfig& config() const { return config_; }
 
   /// The router's session-owned worker pool (see SessionPool; shared
-  /// with ReadMapper's host verification).
+  /// with ReadMapper's host verification and SearchService tickets).
+  /// While service tickets are in flight they pin the handle, so a
+  /// request that would grow the pool is clamped to the live one instead
+  /// of replacing it under their running tasks (safe: every parallel map
+  /// here is worker-count invariant, docs/determinism.md).
   ThreadPool& worker_pool(std::size_t workers = 0) {
     return pool_.get(workers);
   }
 
  private:
+  // The streaming service layer is the router's async execution engine:
+  // it reads banks_/bases_, forks per-read streams from rng_/batch_epoch_,
+  // and flushes ledger totals through controller_.
+  friend class SearchService;
+  friend class SearchTicket;
+
   void check_loaded() const;
   void check_shard(std::size_t s) const;
   /// Merges per-shard partials (shard-major for one read) into one global
@@ -146,7 +175,7 @@ class ShardedAccelerator {
   Controller controller_;
   std::uint64_t batch_epoch_ = 0;
   Rng rng_;  ///< Router master stream; advances exactly like a bank's.
-  SessionPool pool_;
+  SessionPool pool_;  ///< Pinned by in-flight SearchService tickets.
 };
 
 }  // namespace asmcap

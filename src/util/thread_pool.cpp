@@ -1,8 +1,33 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace asmcap {
+
+// ------------------------------------------------------------ TaskGroup --
+
+void TaskGroup::start(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_ += n;
+}
+
+void TaskGroup::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+std::size_t TaskGroup::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+// ----------------------------------------------------------- ThreadPool --
 
 std::size_t ThreadPool::hardware_workers() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -22,6 +47,22 @@ ThreadPool::~ThreadPool() {
   }
   start_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // A threadless pool may hold inline tasks abandoned when an earlier
+  // task threw out of the trampoline: fulfil the drain contract here
+  // (exceptions are discarded — destructors are noexcept).
+  while (true) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (inline_tasks_.empty()) break;
+      task = std::move(inline_tasks_.front());
+      inline_tasks_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+    }
+  }
 }
 
 void ThreadPool::run_job(Job& job) {
@@ -45,14 +86,32 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      job = job_;
+      start_cv_.wait(lock, [&] {
+        return stop_ || !tasks_.empty() || generation_ != seen;
+      });
+      if (generation_ != seen) {
+        // A parallel_for job outranks the detached queue: the caller is
+        // blocked on it and its index count is finite, so joining it
+        // first bounds that caller's wait even while a streaming ticket
+        // keeps the queue full (the queue resumes right after).
+        seen = generation_;
+        job = job_;
+      } else if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (stop_) {
+        // Exit only once the queue is drained: shutdown completes every
+        // submitted task (TaskGroup waiters never dangle).
+        return;
+      }
     }
-    if (job) run_job(*job);
+    if (task)
+      task();
+    else if (job)
+      run_job(*job);
   }
 }
 
@@ -82,6 +141,50 @@ void ThreadPool::parallel_for(std::size_t count,
     job_.reset();
   }
   if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push_back(std::move(task));
+    }
+    start_cv_.notify_one();
+    return;
+  }
+  // Threadless pool: run inline, through a trampoline so chains of tasks
+  // submitting tasks (the service admission ladder) never recurse — the
+  // draining submit() executes the whole chain iteratively. The queue is
+  // guarded by mutex_ (submit stays callable from any thread; a
+  // concurrent caller enqueues and returns, the drainer executes), and
+  // tasks run unlocked. If a task throws, the drain flag is restored and
+  // the exception propagates to the draining caller; tasks still queued
+  // run at the next submit().
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inline_tasks_.push_back(std::move(task));
+    if (inline_running_) return;
+    inline_running_ = true;
+  }
+  for (;;) {
+    std::function<void()> next;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (inline_tasks_.empty()) {
+        inline_running_ = false;
+        return;
+      }
+      next = std::move(inline_tasks_.front());
+      inline_tasks_.pop_front();
+    }
+    try {
+      next();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inline_running_ = false;
+      throw;
+    }
+  }
 }
 
 }  // namespace asmcap

@@ -1,15 +1,32 @@
 #pragma once
-// Small persistent worker pool for the batched execution engine. Work is a
-// dense index range; workers claim indices from a shared atomic counter and
-// all results are written by index, so the output of a parallel map never
-// depends on scheduling order or on how many workers ran it. That property
-// (plus per-index RNG forking at the call sites) is what makes batched
-// searches reproducible regardless of thread count.
+// Small persistent worker pool for the batched execution engine. Two kinds
+// of work share one set of threads:
+//
+//  * parallel_for — a dense index range; workers claim indices from a
+//    shared atomic counter and all results are written by index, so the
+//    output of a parallel map never depends on scheduling order or on how
+//    many workers ran it. That property (plus per-index RNG forking at the
+//    call sites) is what makes batched searches reproducible regardless of
+//    thread count.
+//  * submit — individual detached tasks drained from a FIFO queue. This is
+//    the asynchronous substrate of the streaming SearchService: tasks may
+//    submit further tasks (unlike parallel_for, which is not reentrant),
+//    and completion is tracked by the caller through a TaskGroup.
+//
+// Ownership: a ThreadPool owns its threads; SessionPool (below) owns one
+// lazily-built ThreadPool per session owner (accelerator, sharded router).
+// Thread-safety: submit() may be called from any thread, including from
+// inside a running task; parallel_for() must be called from exactly one
+// thread at a time and is NOT reentrant (see its comment). TaskGroup is
+// fully thread-safe.
+//
+// See docs/architecture.md for where the pool sits in the engine layering.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -19,12 +36,40 @@
 
 namespace asmcap {
 
+/// A waitable completion counter for detached tasks: the dispatcher calls
+/// start() per task (before submitting it), every task calls finish()
+/// exactly once (success or failure), and any thread may wait() for the
+/// count to drain to zero. Thread-safe; reusable after it drains.
+class TaskGroup {
+ public:
+  /// Registers `n` outstanding tasks. Call BEFORE the matching submit()s,
+  /// or a fast task could drain the group below a concurrent wait().
+  void start(std::size_t n = 1);
+
+  /// Marks one task complete; wakes waiters when the group drains.
+  void finish();
+
+  /// Blocks until every started task has finished (returns immediately if
+  /// none are outstanding).
+  void wait();
+
+  /// Outstanding (started but not finished) tasks, racy by nature: only
+  /// pending() == 0 observed after wait() is a stable statement.
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+};
+
 class ThreadPool {
  public:
   /// A pool of `workers` concurrent executors. The calling thread of
   /// parallel_for() participates, so `workers == 1` spawns no threads and
   /// runs everything inline; `workers == 0` uses hardware_workers().
   explicit ThreadPool(std::size_t workers = 0);
+  /// Drains every queued submit() task, then joins the threads.
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -37,13 +82,27 @@ class ThreadPool {
   /// exception thrown by any index is rethrown here (remaining indices may
   /// or may not run).
   ///
-  /// NOT REENTRANT: the pool runs one job at a time (a single shared
-  /// job/generation slot), so fn must never call parallel_for on the same
-  /// pool — a nested call would clobber the in-flight job and deadlock or
-  /// miscount. Session owners (accelerator, sharded router, read mapper)
-  /// therefore run their parallel phases strictly one after another.
+  /// NOT REENTRANT: the pool runs one parallel_for job at a time (a single
+  /// shared job/generation slot), so fn must never call parallel_for on
+  /// the same pool — a nested call would clobber the in-flight job and
+  /// deadlock or miscount. (submit() from inside fn is fine.) Session
+  /// owners (accelerator, sharded router, read mapper) therefore run
+  /// their parallel phases strictly one after another.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
+
+  /// Enqueues one detached task. Tasks run in FIFO claim order on the
+  /// spawned threads; on a pool with no spawned threads (workers == 1)
+  /// the task runs inline before submit() returns, via a trampoline so
+  /// that task chains (tasks submitting tasks) use constant stack depth.
+  /// Tasks SHOULD NOT throw — there is no completion channel to carry an
+  /// exception: on a threaded pool a throwing task terminates the
+  /// process; on a threadless pool the exception propagates to the
+  /// draining submit() caller (still-queued tasks run at the next
+  /// submit). Callers such as SearchService catch inside the task and
+  /// report at wait(). Callable from any thread, including from inside a
+  /// running task.
+  void submit(std::function<void()> task);
 
   /// max(1, std::thread::hardware_concurrency()).
   static std::size_t hardware_workers();
@@ -67,7 +126,12 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::shared_ptr<Job> job_;       ///< Current job (guarded by mutex_).
   std::uint64_t generation_ = 0;   ///< Bumped per job (guarded by mutex_).
+  std::deque<std::function<void()>> tasks_;  ///< submit queue (mutex_).
   bool stop_ = false;
+  // Inline-execution trampoline for threadless pools (guarded by mutex_:
+  // any thread may enqueue; whichever entered the drain loop executes).
+  std::deque<std::function<void()>> inline_tasks_;
+  bool inline_running_ = false;
 };
 
 /// A lazily-created, session-owned ThreadPool handle: the pool is built at
@@ -77,20 +141,31 @@ class ThreadPool {
 /// mixed single/batch usage (workers=1 alternating with workers=8) churns
 /// no threads. That is sound because every parallel map in this codebase
 /// is worker-count invariant by construction. `workers == 0` means one
-/// worker per hardware thread. Not thread-safe itself: one owner
-/// (accelerator, sharded router) runs its parallel phases strictly one
-/// after another (parallel_for is not reentrant anyway).
+/// worker per hardware thread.
+///
+/// Pinning: growth REPLACES the pool, which would destroy it under any
+/// still-running submitted task. Dispatchers with in-flight work
+/// (SearchService tickets) therefore pin() the handle for their lifetime;
+/// while pinned, get() clamps growth requests to the live pool instead of
+/// replacing it (safe: worker-count invariance again). get() itself stays
+/// control-plane (one thread at a time); pin()/unpin() may be called from
+/// worker tasks.
 class SessionPool {
  public:
   ThreadPool& get(std::size_t workers = 0) {
     if (workers == 0) workers = ThreadPool::hardware_workers();
-    if (!pool_ || pool_->workers() < workers)
+    if (!pool_ || (pool_->workers() < workers &&
+                   pins_.load(std::memory_order_acquire) == 0))
       pool_ = std::make_unique<ThreadPool>(workers);
     return *pool_;
   }
 
+  void pin() { pins_.fetch_add(1, std::memory_order_acq_rel); }
+  void unpin() { pins_.fetch_sub(1, std::memory_order_acq_rel); }
+
  private:
   std::unique_ptr<ThreadPool> pool_;
+  std::atomic<std::size_t> pins_{0};
 };
 
 }  // namespace asmcap

@@ -63,5 +63,140 @@ TEST(ThreadPool, HardwareWorkersAtLeastOne) {
   EXPECT_GE(ThreadPool::hardware_workers(), 1u);
 }
 
+// --------------------------------------------- detached tasks + TaskGroup --
+
+TEST(ThreadPool, SubmitRunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  TaskGroup group;
+  std::vector<std::atomic<int>> hits(200);
+  group.start(hits.size());
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    pool.submit([&, i] {
+      ++hits[i];
+      group.finish();
+    });
+  group.wait();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(ThreadPool, SubmitRunsInlineOnThreadlessPool) {
+  // workers == 1 spawns no threads: the task must complete before
+  // submit() returns (deterministic synchronous degradation).
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, TaskChainsUseConstantStackOnThreadlessPool) {
+  // Tasks submitting tasks (the service admission ladder) must trampoline,
+  // not recurse: 100k chained tasks would overflow the stack otherwise.
+  ThreadPool pool(1);
+  TaskGroup group;
+  std::size_t count = 0;
+  std::function<void()> step = [&] {
+    if (++count < 100000) {
+      group.start(1);
+      pool.submit(step);
+    }
+    group.finish();
+  };
+  group.start(1);
+  pool.submit(step);
+  group.wait();
+  EXPECT_EQ(count, 100000u);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasksAcrossThreads) {
+  ThreadPool pool(3);
+  TaskGroup group;
+  std::atomic<int> total{0};
+  group.start(8);
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&] {
+      group.start(4);
+      for (int j = 0; j < 4; ++j)
+        pool.submit([&] {
+          ++total;
+          group.finish();
+        });
+      ++total;
+      group.finish();
+    });
+  group.wait();
+  EXPECT_EQ(total.load(), 8 * 5);
+}
+
+TEST(ThreadPool, SubmitInterleavesWithParallelFor) {
+  ThreadPool pool(4);
+  TaskGroup group;
+  std::atomic<int> async_done{0};
+  group.start(16);
+  for (int i = 0; i < 16; ++i)
+    pool.submit([&] {
+      ++async_done;
+      group.finish();
+    });
+  std::vector<std::size_t> out(64, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i + 1; });
+  group.wait();
+  EXPECT_EQ(async_done.load(), 16);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::size_t{0}),
+            64u * 65u / 2u);
+}
+
+TEST(ThreadPool, InlineTrampolineSurvivesThrowingTask) {
+  // On a threadless pool a throwing task propagates out of the draining
+  // submit(), and the pool must stay usable (the drain flag resets).
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit([] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, DestructorDrainsAbandonedInlineTasks) {
+  // A task queued behind a thrower is abandoned by the trampoline but
+  // must still run by destruction time (the drain contract).
+  bool ran = false;
+  {
+    ThreadPool pool(1);
+    try {
+      pool.submit([&] {
+        pool.submit([&] { ran = true; });
+        throw std::runtime_error("boom");
+      });
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_FALSE(ran);
+  }
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) pool.submit([&] { ++ran; });
+    // No wait: the destructor must finish every queued task before join.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(TaskGroup, ReusableAfterDraining) {
+  TaskGroup group;
+  group.wait();  // empty group: returns immediately
+  for (int round = 0; round < 3; ++round) {
+    group.start(2);
+    EXPECT_EQ(group.pending(), 2u);
+    group.finish();
+    group.finish();
+    group.wait();
+    EXPECT_EQ(group.pending(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace asmcap

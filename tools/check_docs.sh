@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Docs gate (run by the CI `docs` job and available locally):
+#   1. every relative markdown link in README.md and docs/*.md resolves to
+#      a file or directory in the repository;
+#   2. every public header of the engine's API surface carries a doc block
+#      with an explicit thread-safety note (the contract the headers
+#      promise in docs/architecture.md).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ----------------------------------------------------------- link check --
+for md in README.md docs/*.md; do
+  [ -e "$md" ] || continue
+  dir=$(dirname "$md")
+  # Inline markdown links: [text](target). External URLs and pure anchors
+  # are skipped; #section suffixes on file links are stripped.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# ----------------------------------------------- header doc-block check --
+headers="
+src/asmcap/accelerator.h
+src/asmcap/sharded.h
+src/asmcap/readmapper.h
+src/asmcap/backend.h
+src/asmcap/service.h
+src/util/thread_pool.h
+"
+for h in $headers; do
+  if [ ! -e "$h" ]; then
+    echo "MISSING HEADER: $h"
+    fail=1
+    continue
+  fi
+  # The file must open with a comment block...
+  if ! sed -n '2p' "$h" | grep -q '^//'; then
+    echo "MISSING DOC BLOCK: $h (no header comment after #pragma once)"
+    fail=1
+  fi
+  # ...that states the thread-safety contract.
+  if ! grep -q 'Thread-safety' "$h"; then
+    echo "MISSING THREAD-SAFETY NOTE: $h"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs gate FAILED"
+  exit 1
+fi
+echo "docs gate OK: links resolve, API headers carry doc blocks"
