@@ -3,19 +3,24 @@
 // FunctionalBackend path on the same workload and verifies that the match
 // decisions are identical (ideal sensing makes the two backends
 // decision-equivalent by construction; test_engine enforces it on every
-// run, this driver demonstrates it at scale).
+// run, this driver demonstrates it at scale). The EDAM arm does the same
+// for the comparator: serial circuit path vs batched functional backend,
+// with a decision-digest equality assertion (EDAM's content-keyed query
+// streams make serial and batched execution bit-identical, test_edam).
 //
 //   ./bench_batch [reads] [segments] [workers]
 //
-// Exits non-zero if the decisions diverge, so it can double as a check.
+// Exits non-zero if any decisions diverge, so it can double as a check.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "asmcap/accelerator.h"
+#include "asmcap/edam.h"
 #include "genome/readsim.h"
 #include "genome/reference.h"
 #include "util/table.h"
@@ -28,6 +33,18 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// FNV-1a digest over a batch's decision bitmaps: two runs made the same
+/// calls iff their digests agree.
+std::uint64_t decision_digest(const std::vector<EdamQueryResult>& results) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const EdamQueryResult& result : results)
+    for (const bool decision : result.decisions) {
+      hash ^= decision ? 0x9eULL : 0x3bULL;
+      hash *= 0x100000001b3ULL;
+    }
+  return hash;
 }
 
 }  // namespace
@@ -108,6 +125,37 @@ int main(int argc, char** argv) {
     if (circuit_batch_results[i].decisions != batch_results[i].decisions)
       ++divergent;
 
+  // --- EDAM arm: the comparator through the same engine. ------------------
+  // Serial circuit path (one read at a time, cell-accurate current-domain
+  // sensing) vs the batched functional backend. Content-keyed query streams
+  // plus ideal sensing make the two bit-identical: asserted by digest.
+  EdamConfig edam_config;
+  edam_config.array_rows = config.array_rows;
+  edam_config.array_cols = config.array_cols;
+  edam_config.array_count = config.array_count;
+  edam_config.ideal_sensing = true;
+
+  EdamAccelerator edam_serial(edam_config);
+  edam_serial.load_reference(segments);
+  const auto edam_serial_start = Clock::now();
+  std::vector<EdamQueryResult> edam_serial_results;
+  edam_serial_results.reserve(n_reads);
+  for (const Sequence& read : reads)
+    edam_serial_results.push_back(edam_serial.search(read, threshold));
+  const double edam_serial_seconds = seconds_since(edam_serial_start);
+
+  EdamAccelerator edam_batched(edam_config);
+  edam_batched.load_reference(segments);
+  edam_batched.set_backend(BackendKind::Functional);
+  const auto edam_batch_start = Clock::now();
+  const std::vector<EdamQueryResult> edam_batch_results =
+      edam_batched.search_batch(reads, threshold, workers);
+  const double edam_batch_seconds = seconds_since(edam_batch_start);
+
+  const std::uint64_t edam_serial_digest =
+      decision_digest(edam_serial_results);
+  const std::uint64_t edam_batch_digest = decision_digest(edam_batch_results);
+
   Table table({"path", "wall time", "reads/s", "per read"});
   table.new_row()
       .add_cell("circuit, single-read (seed)")
@@ -120,12 +168,35 @@ int main(int argc, char** argv) {
       .add_cell(format_si(batch_seconds, "s"))
       .add_cell(format_si(static_cast<double>(n_reads) / batch_seconds, ""))
       .add_cell(format_si(batch_seconds / static_cast<double>(n_reads), "s"));
+  table.new_row()
+      .add_cell("EDAM circuit, single-read (serial)")
+      .add_cell(format_si(edam_serial_seconds, "s"))
+      .add_cell(format_si(static_cast<double>(n_reads) / edam_serial_seconds,
+                          ""))
+      .add_cell(format_si(edam_serial_seconds / static_cast<double>(n_reads),
+                          "s"));
+  table.new_row()
+      .add_cell("EDAM functional, batched")
+      .add_cell(format_si(edam_batch_seconds, "s"))
+      .add_cell(format_si(static_cast<double>(n_reads) / edam_batch_seconds,
+                          ""))
+      .add_cell(format_si(edam_batch_seconds / static_cast<double>(n_reads),
+                          "s"));
   table.print(std::cout);
 
   std::printf("\nspeedup: %.1fx, decisions identical on %zu/%zu reads\n",
               circuit_seconds / batch_seconds, n_reads - divergent, n_reads);
+  std::printf(
+      "EDAM speedup: %.1fx, decision digest %016llx (serial) %s (batched)\n",
+      edam_serial_seconds / edam_batch_seconds,
+      static_cast<unsigned long long>(edam_serial_digest),
+      edam_serial_digest == edam_batch_digest ? "==" : "!=");
   if (divergent != 0) {
     std::fprintf(stderr, "FAIL: %zu reads diverged\n", divergent);
+    return 1;
+  }
+  if (edam_serial_digest != edam_batch_digest) {
+    std::fprintf(stderr, "FAIL: EDAM serial/batched decision digests diverged\n");
     return 1;
   }
   return 0;

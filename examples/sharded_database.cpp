@@ -129,10 +129,13 @@ int main(int argc, char** argv) {
 
   std::printf("\naccuracy vs the exact host (CM-CPU gold standard):\n");
   std::printf("  ASMCap (sharded filter)  F1 = %.3f\n", result.asmcap_f1);
+  std::printf("  EDAM (batched, engine)   F1 = %.3f\n", result.edam_f1);
   std::printf("  Kraken-like exact k-mers F1 = %.3f\n", result.kraken_f1);
   std::printf("cost of the %zu-query batch:\n", dataset.queries.size());
   std::printf("  accelerator: %.3g s, %.3g J (router ledger totals)\n",
               result.accel_latency_seconds, result.accel_energy_joules);
+  std::printf("  EDAM:        %.3g s, %.3g J (batched comparator)\n",
+              result.edam_latency_seconds, result.edam_energy_joules);
   std::printf("  CM-CPU host: %.3g s, %.3g J (modelled exact scan)\n",
               result.cmcpu_seconds, result.cmcpu_joules);
   if (result.accel_latency_seconds > 0.0 && result.cmcpu_seconds > 0.0)

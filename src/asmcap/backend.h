@@ -12,6 +12,15 @@
 //    order of magnitude faster for large sweeps. Under ideal_sensing the
 //    two backends are decision-identical (enforced by test_engine).
 //
+// The EDAM comparator runs through the same seam with its own pair:
+//
+//  * EdamCircuitBackend — cell-accurate current-domain sensing (pre-charge,
+//    discharge, sample-and-hold) via CurrentArrayReadout::measure_row.
+//  * EdamFunctionalBackend — the packed word-parallel kernels with the
+//    count-pure current-domain energy model (bit-identical energy to the
+//    circuit path; decision-identical under ideal_sensing, enforced by
+//    test_edam).
+//
 // Ownership: backends are owned by their accelerator and hold non-owning
 // references into it (CircuitBackend) or private packed copies of the
 // segments (FunctionalBackend); the accelerator must outlive them.
@@ -37,6 +46,8 @@
 #include "asmcap/array_unit.h"
 #include "asmcap/config.h"
 #include "asmcap/mapper.h"
+#include "cam/array.h"
+#include "cam/current_readout.h"
 #include "cam/periphery.h"
 #include "genome/sequence.h"
 #include "util/rng.h"
@@ -113,6 +124,52 @@ class FunctionalBackend : public ExecutionBackend {
   std::size_t arrays_in_use_;
   ChargeDomainParams charge_;
   SearchlineDriverParams sl_params_;
+};
+
+/// Cell-accurate EDAM backend: current-domain sensing over the
+/// manufactured CamArray/CurrentArrayReadout bank. Holds non-owning
+/// references into the EdamAccelerator; the accelerator must outlive it.
+class EdamCircuitBackend : public ExecutionBackend {
+ public:
+  EdamCircuitBackend(const std::vector<CamArray>& arrays,
+                     const std::vector<CurrentArrayReadout>& readouts,
+                     std::size_t segment_count, std::size_t array_rows,
+                     bool ideal_sensing, std::size_t segment_base = 0);
+
+  const char* name() const override { return "edam-circuit"; }
+  std::size_t segment_count() const override { return segment_count_; }
+  PassResult run_pass(const Sequence& read, MatchMode mode,
+                      std::size_t threshold, const Rng& query_rng,
+                      std::uint64_t pass_salt) const override;
+
+ private:
+  const std::vector<CamArray>* arrays_;
+  const std::vector<CurrentArrayReadout>* readouts_;
+  std::size_t segment_count_;
+  std::size_t array_rows_;
+  bool ideal_sensing_;
+  std::size_t segment_base_;
+};
+
+/// Fast EDAM backend: word-parallel kernels over 2-bit packed segments,
+/// ideal (noise-free) decisions, and the count-pure current-domain energy
+/// model — bit-identical energy to EdamCircuitBackend (the energy of a
+/// current-domain search does not depend on the manufactured currents).
+class EdamFunctionalBackend : public ExecutionBackend {
+ public:
+  EdamFunctionalBackend(const std::vector<Sequence>& segments,
+                        const CurrentDomainParams& params, std::size_t cols);
+
+  const char* name() const override { return "edam-functional"; }
+  std::size_t segment_count() const override { return packed_.size(); }
+  PassResult run_pass(const Sequence& read, MatchMode mode,
+                      std::size_t threshold, const Rng& query_rng,
+                      std::uint64_t pass_salt) const override;
+
+ private:
+  std::vector<std::vector<std::uint64_t>> packed_;  ///< Per-segment words.
+  CurrentDomainParams params_;
+  std::size_t cols_;
 };
 
 }  // namespace asmcap

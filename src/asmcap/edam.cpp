@@ -4,6 +4,26 @@
 
 namespace asmcap {
 
+namespace {
+
+/// FNV-1a over the packed words + length: the content key of a read. Two
+/// equal sequences always key the same query stream, which is what makes
+/// EDAM decisions query-order-invariant (docs/determinism.md).
+std::uint64_t content_key(const Sequence& read) {
+  std::uint64_t hash = 0xcbf2'9ce4'8422'2325ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffULL;
+      hash *= 0x0000'0100'0000'01b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(read.size()));
+  for (const std::uint64_t word : read.packed_words()) mix(word);
+  return hash;
+}
+
+}  // namespace
+
 EdamAccelerator::EdamAccelerator(EdamConfig config)
     : config_(config), rng_(config.seed) {
   if (config_.array_rows == 0 || config_.array_cols == 0 ||
@@ -14,8 +34,7 @@ EdamAccelerator::EdamAccelerator(EdamConfig config)
 void EdamAccelerator::load_reference(const std::vector<Sequence>& segments) {
   if (segments_loaded_ != 0)
     throw std::logic_error("EdamAccelerator: reference already loaded");
-  const std::size_t capacity = config_.array_rows * config_.array_count;
-  if (segments.size() > capacity)
+  if (segments.size() > config_.capacity_segments())
     throw std::length_error("EdamAccelerator: capacity exceeded");
   arrays_in_use_ =
       (segments.size() + config_.array_rows - 1) / config_.array_rows;
@@ -31,63 +50,86 @@ void EdamAccelerator::load_reference(const std::vector<Sequence>& segments) {
     arrays_[i / config_.array_rows].write_row(i % config_.array_rows,
                                               segments[i]);
   segments_loaded_ = segments.size();
+
+  circuit_backend_ = std::make_unique<EdamCircuitBackend>(
+      arrays_, readouts_, segments_loaded_, config_.array_rows,
+      config_.ideal_sensing);
+  functional_backend_ = std::make_unique<EdamFunctionalBackend>(
+      segments, config_.current, config_.array_cols);
 }
 
-std::vector<bool> EdamAccelerator::pass(const Sequence& read,
-                                        std::size_t threshold) {
-  std::vector<bool> decisions(segments_loaded_, false);
-  for (std::size_t a = 0; a < arrays_in_use_; ++a) {
-    const auto masks = arrays_[a].search_masks(read, MatchMode::EdStar);
-    for (std::size_t r = 0; r < config_.array_rows; ++r) {
-      const std::size_t global = a * config_.array_rows + r;
-      if (global >= segments_loaded_) break;
-      if (config_.ideal_sensing) {
-        decisions[global] = masks[r].popcount() <= threshold;
-        // Still charge the energy the search would burn.
-        readouts_[a].sense_row(r, masks[r], threshold, rng_);
-      } else {
-        decisions[global] =
-            readouts_[a].sense_row(r, masks[r], threshold, rng_).match;
-      }
-    }
-  }
-  return decisions;
+const ExecutionBackend& EdamAccelerator::backend() const {
+  if (segments_loaded_ == 0)
+    throw std::logic_error("EdamAccelerator: no reference loaded");
+  if (backend_kind_ == BackendKind::Functional) return *functional_backend_;
+  return *circuit_backend_;
 }
 
-EdamQueryResult EdamAccelerator::search(const Sequence& read,
-                                        std::size_t threshold) {
+void EdamAccelerator::check_read(const Sequence& read) const {
   if (segments_loaded_ == 0)
     throw std::logic_error("EdamAccelerator: no reference loaded");
   if (read.size() != config_.array_cols)
     throw std::invalid_argument("EdamAccelerator: read width mismatch");
+}
 
-  double energy_before = 0.0;
-  for (const auto& readout : readouts_)
-    energy_before += readout.consumed_energy();
+Rng EdamAccelerator::query_stream(const Sequence& read) const {
+  return rng_.fork(content_key(read));
+}
+
+EdamQueryResult EdamAccelerator::execute(const Sequence& read,
+                                         std::size_t threshold,
+                                         const Rng& query_rng) const {
+  const ExecutionBackend& backend = this->backend();
 
   EdamQueryResult result;
-  std::vector<bool> decisions = pass(read, threshold);
+  // Pass 0: the original read.
+  PassResult pass = backend.run_pass(read, MatchMode::EdStar, threshold,
+                                     query_rng, 0);
+  result.decisions = std::move(pass.decisions);
+  result.energy_joules = pass.energy_joules;
   result.searches = 1;
+
   if (config_.sr_enabled) {
     // Unconditional SR: OR over all rotated searches, whatever T is. This
-    // is exactly what TASR's T_l guard improves upon.
+    // is exactly what TASR's T_l guard improves upon. Every rotation pass
+    // evaluates (and pays for) the full bank; pass p forks stream p.
+    std::uint64_t pass_salt = 1;
     for (const Sequence& rotated :
          rotation_schedule(read, config_.sr_rotations, config_.sr_direction)) {
       if (rotated == read) continue;
-      const std::vector<bool> extra = pass(rotated, threshold);
-      for (std::size_t g = 0; g < decisions.size(); ++g)
-        decisions[g] = decisions[g] || extra[g];
+      const PassResult extra = backend.run_pass(
+          rotated, MatchMode::EdStar, threshold, query_rng, pass_salt++);
+      for (std::size_t g = 0; g < result.decisions.size(); ++g)
+        result.decisions[g] = result.decisions[g] || extra.decisions[g];
+      result.energy_joules += extra.energy_joules;
       ++result.searches;
     }
   }
-  result.decisions = std::move(decisions);
   result.latency_seconds =
       static_cast<double>(result.searches) * config_.current.search_time();
-  double energy_after = 0.0;
-  for (const auto& readout : readouts_)
-    energy_after += readout.consumed_energy();
-  result.energy_joules = energy_after - energy_before;
   return result;
+}
+
+EdamQueryResult EdamAccelerator::search(const Sequence& read,
+                                        std::size_t threshold) const {
+  check_read(read);
+  return execute(read, threshold, query_stream(read));
+}
+
+std::vector<EdamQueryResult> EdamAccelerator::search_batch(
+    const std::vector<Sequence>& reads, std::size_t threshold,
+    std::size_t workers) {
+  for (const Sequence& read : reads) check_read(read);
+  if (reads.empty()) {
+    if (segments_loaded_ == 0)
+      throw std::logic_error("EdamAccelerator: no reference loaded");
+    return {};
+  }
+  std::vector<EdamQueryResult> results(reads.size());
+  worker_pool(workers).parallel_for(reads.size(), [&](std::size_t i) {
+    results[i] = execute(reads[i], threshold, query_stream(reads[i]));
+  });
+  return results;
 }
 
 }  // namespace asmcap

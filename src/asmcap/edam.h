@@ -3,19 +3,41 @@
 // comparator. Same ED* matching logic as ASMCap but with current-domain
 // matchline sensing (pre-charge, discharge, sample-and-hold), no Hamming
 // mode (no HDAC), and optionally the original unconditional Sequence
-// Rotation (SR) strategy.
+// Rotation (SR) strategy. Runs on the same ExecutionBackend seam as
+// AsmcapAccelerator: a cell-accurate EdamCircuitBackend and a word-parallel
+// EdamFunctionalBackend (see backend.h), switchable at runtime.
+//
+// Ownership: the accelerator owns its arrays, readouts, backends, and
+// session pool; backends hold non-owning references into it (hence not
+// movable). Thread-safety: the mutating entry points (load_reference,
+// set_backend, search_batch) belong to one control thread at a time;
+// search() is const and thread-safe — it is what search_batch fans across
+// workers.
+//
+// RNG discipline (docs/determinism.md): EDAM's per-query stream is keyed
+// by the READ CONTENT — query_rng = master.fork(content key of the read) —
+// and every sensing decision forks from it per (pass, global segment id).
+// A decision is therefore a pure function of (seed, read, pass, segment):
+// independent of every query that ran before it, of the worker that
+// evaluated it, and of whether it ran serially or batched. This is what
+// makes search_batch bit-identical to sequential search() calls and what
+// fixed the seed-era order-dependent noise (the old pass() loop drew
+// sequentially from a shared member stream).
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "align/edstar.h"
+#include "asmcap/backend.h"
 #include "cam/array.h"
 #include "cam/current_readout.h"
 #include "circuit/process.h"
 #include "circuit/timing.h"
 #include "genome/sequence.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace asmcap {
 
@@ -30,6 +52,8 @@ struct EdamConfig {
   RotateDir sr_direction = RotateDir::Both;
   bool ideal_sensing = false;
   std::uint64_t seed = 0xEDA0'EDA0'EDA0'EDA0ULL;
+
+  std::size_t capacity_segments() const { return array_rows * array_count; }
 };
 
 struct EdamQueryResult {
@@ -43,23 +67,66 @@ class EdamAccelerator {
  public:
   explicit EdamAccelerator(EdamConfig config);
 
+  // Not movable: the backends hold pointers into arrays_/readouts_, which
+  // a move would leave dangling.
+  EdamAccelerator(EdamAccelerator&&) = delete;
+  EdamAccelerator& operator=(EdamAccelerator&&) = delete;
+
   void load_reference(const std::vector<Sequence>& segments);
 
-  EdamQueryResult search(const Sequence& read, std::size_t threshold);
+  /// Selects the execution backend for subsequent searches. The circuit
+  /// backend (default) is cell-accurate; the functional backend computes
+  /// the same decisions under ideal sensing (and bit-identical energy
+  /// always) an order of magnitude faster. May be switched at any time.
+  void set_backend(BackendKind kind) { backend_kind_ = kind; }
+  BackendKind backend_kind() const { return backend_kind_; }
+  /// The active backend (valid after load_reference).
+  const ExecutionBackend& backend() const;
+
+  /// Searches one read against every loaded segment. Const and
+  /// thread-safe; energy is accumulated from per-pass deltas (never from
+  /// before/after scans of shared state). The result is a pure function of
+  /// (config, loaded reference, read, threshold) — see the RNG note above.
+  EdamQueryResult search(const Sequence& read, std::size_t threshold) const;
+
+  /// Searches a batch of reads, fanning them across `workers` threads.
+  /// Every read's stream is keyed by its content, so the results are
+  /// bit-identical to sequential search() calls, for any worker count and
+  /// any query order.
+  std::vector<EdamQueryResult> search_batch(const std::vector<Sequence>& reads,
+                                            std::size_t threshold,
+                                            std::size_t workers = 1);
+
+  /// The session-owned worker pool (see SessionPool), reused across
+  /// search_batch calls. NOTE: ThreadPool::parallel_for is not reentrant —
+  /// never call back into the pool from inside a task it is running.
+  ThreadPool& worker_pool(std::size_t workers = 0) {
+    return pool_.get(workers);
+  }
 
   std::size_t loaded_segments() const { return segments_loaded_; }
   const EdamConfig& config() const { return config_; }
   double search_time() const { return config_.current.search_time(); }
 
  private:
-  std::vector<bool> pass(const Sequence& read, std::size_t threshold);
+  void check_read(const Sequence& read) const;
+  /// The content-keyed per-query stream (never advances the master).
+  Rng query_stream(const Sequence& read) const;
+  /// Runs the pass schedule (original + SR rotations) on the active
+  /// backend, OR-accumulating decisions and summing per-pass energy.
+  EdamQueryResult execute(const Sequence& read, std::size_t threshold,
+                          const Rng& query_rng) const;
 
   EdamConfig config_;
   std::vector<CamArray> arrays_;
   std::vector<CurrentArrayReadout> readouts_;
+  std::unique_ptr<EdamCircuitBackend> circuit_backend_;
+  std::unique_ptr<EdamFunctionalBackend> functional_backend_;
+  BackendKind backend_kind_ = BackendKind::Circuit;
   std::size_t segments_loaded_ = 0;
   std::size_t arrays_in_use_ = 0;
-  Rng rng_;
+  Rng rng_;  ///< Master stream: forked per query, never advanced.
+  SessionPool pool_;
 };
 
 }  // namespace asmcap

@@ -1,0 +1,86 @@
+// EDAM execution backends (see backend.h): the comparator's two paths
+// through the shared ExecutionBackend seam. Both follow the engine's RNG
+// discipline — per-decision streams forked from the pass stream, keyed by
+// global segment id (docs/determinism.md) — so EDAM decisions are
+// worker-count- and query-order-invariant like ASMCap's.
+
+#include <stdexcept>
+
+#include "align/edstar.h"
+#include "align/hamming.h"
+#include "asmcap/backend.h"
+#include "circuit/matchline.h"
+
+namespace asmcap {
+
+EdamCircuitBackend::EdamCircuitBackend(
+    const std::vector<CamArray>& arrays,
+    const std::vector<CurrentArrayReadout>& readouts,
+    std::size_t segment_count, std::size_t array_rows, bool ideal_sensing,
+    std::size_t segment_base)
+    : arrays_(&arrays),
+      readouts_(&readouts),
+      segment_count_(segment_count),
+      array_rows_(array_rows),
+      ideal_sensing_(ideal_sensing),
+      segment_base_(segment_base) {}
+
+PassResult EdamCircuitBackend::run_pass(const Sequence& read, MatchMode mode,
+                                        std::size_t threshold,
+                                        const Rng& query_rng,
+                                        std::uint64_t pass_salt) const {
+  const Rng pass_rng = query_rng.fork(pass_salt);
+  PassResult result;
+  result.decisions.assign(segment_count_, false);
+  for (std::size_t a = 0; a < arrays_->size(); ++a) {
+    const auto masks = (*arrays_)[a].search_masks(read, mode);
+    for (std::size_t r = 0; r < array_rows_; ++r) {
+      const std::size_t global = a * array_rows_ + r;
+      if (global >= segment_count_) break;
+      // Sensing noise keyed by global segment id: placement-invariant.
+      Rng decide_rng = pass_rng.fork(
+          static_cast<std::uint64_t>(segment_base_ + global));
+      double row_energy = 0.0;
+      const RowDecision decision = (*readouts_)[a].measure_row(
+          r, masks[r], threshold, decide_rng, &row_energy);
+      result.energy_joules += row_energy;
+      result.decisions[global] = ideal_sensing_
+                                     ? masks[r].popcount() <= threshold
+                                     : decision.match;
+    }
+  }
+  return result;
+}
+
+EdamFunctionalBackend::EdamFunctionalBackend(
+    const std::vector<Sequence>& segments, const CurrentDomainParams& params,
+    std::size_t cols)
+    : params_(params), cols_(cols) {
+  packed_.reserve(segments.size());
+  for (const Sequence& segment : segments)
+    packed_.push_back(segment.packed_words());
+}
+
+PassResult EdamFunctionalBackend::run_pass(const Sequence& read,
+                                           MatchMode mode,
+                                           std::size_t threshold,
+                                           const Rng& /*query_rng*/,
+                                           std::uint64_t /*pass_salt*/) const {
+  if (read.size() != cols_)
+    throw std::invalid_argument("EdamFunctionalBackend: read width mismatch");
+  const std::vector<std::uint64_t> packed_read = read.packed_words();
+
+  PassResult result;
+  result.decisions.assign(packed_.size(), false);
+  for (std::size_t g = 0; g < packed_.size(); ++g) {
+    const std::size_t count =
+        mode == MatchMode::Hamming
+            ? hamming_packed(packed_[g], packed_read, cols_)
+            : ed_star_packed(packed_[g], packed_read, cols_);
+    result.decisions[g] = count <= threshold;
+    result.energy_joules += current_row_search_energy(count, cols_, params_);
+  }
+  return result;
+}
+
+}  // namespace asmcap

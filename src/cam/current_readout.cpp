@@ -40,10 +40,13 @@ bool CurrentArrayReadout::decide_from_drop(std::size_t row,
   return sense_amp_.above(vml, vref, search_rng);
 }
 
-RowDecision CurrentArrayReadout::sense_row(std::size_t row, const BitVec& mask,
-                                           std::size_t threshold,
-                                           Rng& search_rng) {
-  if (row >= rows()) throw std::out_of_range("CurrentArrayReadout::sense_row");
+RowDecision CurrentArrayReadout::measure_row(std::size_t row,
+                                             const BitVec& mask,
+                                             std::size_t threshold,
+                                             Rng& search_rng,
+                                             double* energy_joules) const {
+  if (row >= rows())
+    throw std::out_of_range("CurrentArrayReadout::measure_row");
   const CurrentMatchline& line = matchlines_[row];
   const double vml = line.sample(mask, search_rng) + row_offsets_[row];
   const double vref =
@@ -51,7 +54,17 @@ RowDecision CurrentArrayReadout::sense_row(std::size_t row, const BitVec& mask,
   RowDecision decision;
   decision.vml = vml;
   decision.match = sense_amp_.above(vml, vref, search_rng);
-  energy_ += line.search_energy(mask.popcount());
+  if (energy_joules) *energy_joules = line.search_energy(mask.popcount());
+  return decision;
+}
+
+RowDecision CurrentArrayReadout::sense_row(std::size_t row, const BitVec& mask,
+                                           std::size_t threshold,
+                                           Rng& search_rng) {
+  double energy = 0.0;
+  const RowDecision decision =
+      measure_row(row, mask, threshold, search_rng, &energy);
+  energy_ += energy;
   return decision;
 }
 

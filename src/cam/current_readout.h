@@ -27,6 +27,15 @@ class CurrentArrayReadout {
   RowDecision sense_row(std::size_t row, const BitVec& mask,
                         std::size_t threshold, Rng& search_rng);
 
+  /// Const, thread-safe variant of sense_row: identical physics, but the
+  /// search energy of the row is returned through `energy_joules` instead
+  /// of accumulating into the readout's ledger. This is the path the EDAM
+  /// execution backend uses so that concurrent batch workers never mutate
+  /// shared silicon state.
+  RowDecision measure_row(std::size_t row, const BitVec& mask,
+                          std::size_t threshold, Rng& search_rng,
+                          double* energy_joules) const;
+
   /// Systematic (cacheable) nominal discharge of a row for a mask.
   double drop_row(std::size_t row, const BitVec& mask) const;
 

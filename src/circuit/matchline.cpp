@@ -68,20 +68,29 @@ double CurrentMatchline::sample(const BitVec& mismatch_mask,
   return sample_from_drop(nominal_drop(mismatch_mask), search_rng);
 }
 
-double CurrentMatchline::search_energy(std::size_t n_mis) const {
+double current_row_search_energy(std::size_t n_mis, std::size_t n_cells,
+                                 const CurrentDomainParams& params) {
+  const double ml_capacitance =
+      params.ml_cap_per_cell * static_cast<double>(n_cells);
+  const double volts_per_count =
+      params.cell_current * params.t_discharge / ml_capacitance;
   // Pre-charge: the matchline swings (on average) by the discharged amount
   // each cycle and is pulled back to VDD: E_pre = C_ML * VDD * dV. We charge
   // the full swing pessimistically for mismatching rows (the common case in
   // genome search, where most rows mismatch badly).
   const double ideal_drop =
-      std::min(params_.vdd, static_cast<double>(n_mis) * volts_per_count());
-  const double e_precharge = ml_capacitance_ * params_.vdd * ideal_drop;
+      std::min(params.vdd, static_cast<double>(n_mis) * volts_per_count);
+  const double e_precharge = ml_capacitance * params.vdd * ideal_drop;
   // Crowbar: mismatched cells conduct for the full discharge window (the
   // matchline driver and the pull-downs fight until sampling).
   const double e_discharge = static_cast<double>(n_mis) *
-                             params_.cell_current * params_.vdd *
-                             params_.t_discharge;
+                             params.cell_current * params.vdd *
+                             params.t_discharge;
   return e_precharge + e_discharge;
+}
+
+double CurrentMatchline::search_energy(std::size_t n_mis) const {
+  return current_row_search_energy(n_mis, cells(), params_);
 }
 
 }  // namespace asmcap

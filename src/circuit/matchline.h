@@ -46,6 +46,14 @@ class ChargeMatchline {
   CapacitorBank bank_;
 };
 
+/// Nominal current-domain search energy of one row (matchline pre-charge +
+/// crowbar discharge), a pure function of the mismatch count and the
+/// process parameters — the manufactured per-cell currents do not enter.
+/// Shared by CurrentMatchline::search_energy and the EDAM functional
+/// backend, so the two ledger paths agree bit-for-bit.
+double current_row_search_energy(std::size_t n_mis, std::size_t n_cells,
+                                 const CurrentDomainParams& params);
+
 /// One current-domain row: owns its per-cell discharge currents.
 class CurrentMatchline {
  public:

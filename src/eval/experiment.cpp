@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 #include "asmcap/hdac.h"
@@ -15,6 +16,19 @@
 #include "util/thread_pool.h"
 
 namespace asmcap {
+
+namespace {
+// Arm salts for the Fig. 7 replay's noise tree: every contender arm draws
+// from its own stream keyed by (arm, query, row), so toggling one arm's
+// schedule (edam_sr_enabled, the HD pass) never shifts the draws — and
+// therefore the accuracy — of any other arm. See docs/determinism.md.
+constexpr std::uint64_t kArmEdam = 0x0E0A'0000ULL;
+constexpr std::uint64_t kArmBase = 0x0BA5'0000ULL;
+constexpr std::uint64_t kArmTasr = 0x07A5'0000ULL;
+constexpr std::uint64_t kArmHd = 0x0440'0000ULL;
+constexpr std::uint64_t kArmHdacCoin = 0x0C01'0000ULL;
+constexpr std::uint64_t kArmFullCoin = 0x0F11'0000ULL;
+}  // namespace
 
 double Fig7Series::mean(double Fig7Point::* field) const {
   if (points.empty()) return 0.0;
@@ -74,43 +88,66 @@ Fig7Series Fig7Runner::run(const Dataset& dataset,
     const bool rotate = tasr.should_rotate(threshold, dataset.rates,
                                            read_length);
 
-    Rng noise = rng.fork(threshold + 1);
+    // Per-arm noise streams, forked once per threshold; each (query, row)
+    // pair forks again below, so a decision's draws are a pure function of
+    // (threshold, arm, query, row) — never of another arm's schedule.
+    const Rng threshold_rng = rng.fork(threshold + 1);
+    const Rng arm_edam = threshold_rng.fork(kArmEdam);
+    const Rng arm_base = threshold_rng.fork(kArmBase);
+    const Rng arm_tasr = threshold_rng.fork(kArmTasr);
+    const Rng arm_hd = threshold_rng.fork(kArmHd);
+    const Rng arm_hdac_coin = threshold_rng.fork(kArmHdacCoin);
+    const Rng arm_full_coin = threshold_rng.fork(kArmFullCoin);
     for (std::size_t q = 0; q < signals.queries(); ++q) {
       for (std::size_t r = 0; r < signals.rows(); ++r) {
         const PairSignals& pair = signals.pair(q, r);
         const bool actual = pair.ed <= threshold;
+        const std::uint64_t pair_key = q * signals.rows() + r;
+
+        // Streams are forked lazily: the ideal path samples no noise and
+        // a disabled HD pass flips no coins, so those pairs skip the
+        // (hot-loop) Rng constructions entirely.
 
         // --- EDAM: current-domain sensing, plain ED* (optional SR). ---
+        std::optional<Rng> edam_noise;
+        if (!ideal) edam_noise.emplace(arm_edam.fork(pair_key));
         bool edam_match =
             ideal ? pair.ed_star <= threshold
                   : edam_ro.decide_from_drop(r, pair.edam_drop, threshold,
-                                             noise);
+                                             *edam_noise);
         if (config_.edam_sr_enabled) {
           for (std::size_t k = 0; k < pair.rot_ed_star.size(); ++k) {
             if (edam_match) break;
             edam_match =
                 ideal ? pair.rot_ed_star[k] <= threshold
                       : edam_ro.decide_from_drop(r, pair.rot_edam_drop[k],
-                                                 threshold, noise);
+                                                 threshold, *edam_noise);
           }
         }
         cm_edam.add(edam_match, actual);
 
         // --- ASMCap baseline: charge-domain sensing, plain ED*. ---
-        const bool base_match =
-            ideal ? pair.ed_star <= threshold
-                  : asmcap_ro.decide(pair.vml_ed_star, threshold, noise);
+        bool base_match;
+        if (ideal) {
+          base_match = pair.ed_star <= threshold;
+        } else {
+          Rng base_noise = arm_base.fork(pair_key);
+          base_match = asmcap_ro.decide(pair.vml_ed_star, threshold,
+                                        base_noise);
+        }
         cm_base.add(base_match, actual);
 
         // --- TASR arm: rotations only when T >= T_l. ---
         bool tasr_match = base_match;
         if (rotate) {
+          std::optional<Rng> tasr_noise;
+          if (!ideal) tasr_noise.emplace(arm_tasr.fork(pair_key));
           for (std::size_t k = 0; k < pair.rot_ed_star.size(); ++k) {
             if (tasr_match) break;
             tasr_match = ideal
                              ? pair.rot_ed_star[k] <= threshold
                              : asmcap_ro.decide(pair.rot_vml[k], threshold,
-                                                noise);
+                                                *tasr_noise);
           }
         }
         cm_tasr.add(tasr_match, actual);
@@ -118,18 +155,26 @@ Fig7Series Fig7Runner::run(const Dataset& dataset,
         // --- HDAC arm: HD search + probabilistic selection. ---
         bool hd_match = false;
         if (hd_pass) {
-          hd_match = ideal ? pair.hd <= threshold
-                           : asmcap_ro.decide(pair.vml_hd, threshold, noise);
+          if (ideal) {
+            hd_match = pair.hd <= threshold;
+          } else {
+            Rng hd_noise = arm_hd.fork(pair_key);
+            hd_match = asmcap_ro.decide(pair.vml_hd, threshold, hd_noise);
+          }
         }
-        const bool hdac_match =
-            hd_pass ? hdac.combine(hd_match, base_match, p, noise)
-                    : base_match;
+        bool hdac_match = base_match;
+        if (hd_pass) {
+          Rng hdac_coin = arm_hdac_coin.fork(pair_key);
+          hdac_match = hdac.combine(hd_match, base_match, p, hdac_coin);
+        }
         cm_hdac.add(hdac_match, actual);
 
         // --- Full: TASR-corrected ED* result, then HDAC selection. ---
-        const bool full_match =
-            hd_pass ? hdac.combine(hd_match, tasr_match, p, noise)
-                    : tasr_match;
+        bool full_match = tasr_match;
+        if (hd_pass) {
+          Rng full_coin = arm_full_coin.fork(pair_key);
+          full_match = hdac.combine(hd_match, tasr_match, p, full_coin);
+        }
         cm_full.add(full_match, actual);
 
         cm_kraken.add(kraken_pred[q][r], actual);
@@ -168,6 +213,22 @@ ShardedComparisonResult run_sharded_comparison(
   const std::vector<QueryResult> asmcap_results = accel.search_batch(
       reads, config.threshold, config.mode, config.workers);
 
+  // EDAM, batched through its own engine: geometry mirrors the bank (the
+  // comparator stores the same rows at the same width), array_count raised
+  // to fit the whole database in one EDAM deployment.
+  EdamConfig edam_config = config.edam;
+  edam_config.array_rows = config.bank.array_rows;
+  edam_config.array_cols = config.bank.array_cols;
+  edam_config.array_count =
+      (dataset.rows.size() + edam_config.array_rows - 1) /
+      edam_config.array_rows;
+  edam_config.ideal_sensing = config.bank.ideal_sensing;
+  EdamAccelerator edam(edam_config);
+  edam.load_reference(dataset.rows);
+  edam.set_backend(config.edam_backend);
+  const std::vector<EdamQueryResult> edam_results =
+      edam.search_batch(reads, config.threshold, config.workers);
+
   // CM-CPU is exact, so its decisions double as the ground truth.
   const CmCpuBaseline cmcpu(config.cmcpu);
   const std::vector<std::vector<bool>> truth = cmcpu.decide_batch(
@@ -180,9 +241,13 @@ ShardedComparisonResult run_sharded_comparison(
 
   for (std::size_t q = 0; q < reads.size(); ++q) {
     out.cm_asmcap.merge(confusion_from(asmcap_results[q].decisions, truth[q]));
+    out.cm_edam.merge(confusion_from(edam_results[q].decisions, truth[q]));
     out.cm_kraken.merge(confusion_from(kraken_pred[q], truth[q]));
+    out.edam_latency_seconds += edam_results[q].latency_seconds;
+    out.edam_energy_joules += edam_results[q].energy_joules;
   }
   out.asmcap_f1 = out.cm_asmcap.f1();
+  out.edam_f1 = out.cm_edam.f1();
   out.kraken_f1 = out.cm_kraken.f1();
   out.accel_latency_seconds = accel.totals().latency_seconds;
   out.accel_energy_joules = accel.totals().energy_joules;
@@ -267,7 +332,7 @@ std::vector<ReadLengthPoint> run_readlength(const ReadLengthConfig& config,
     dataset_config.reads = config.reads;
     dataset_config.rates = config.rates;
     dataset_config.name = "m=" + std::to_string(length);
-    Rng dataset_rng = rng.fork(length);
+    Rng dataset_rng = rng.fork(readlength_dataset_salt(length));
     const Dataset dataset = build_dataset(dataset_config, dataset_rng);
 
     Fig7Config fig7;
@@ -280,7 +345,7 @@ std::vector<ReadLengthPoint> run_readlength(const ReadLengthConfig& config,
     point.read_length = length;
     point.threshold = static_cast<std::size_t>(std::max(
         1.0, config.threshold_fraction * static_cast<double>(length)));
-    Rng run_rng = rng.fork(length + 1);
+    Rng run_rng = rng.fork(readlength_run_salt(length));
     const Fig7Series series =
         Fig7Runner(fig7).run(dataset, {point.threshold}, run_rng);
     point.edam_f1 = series.points.front().edam;

@@ -52,8 +52,9 @@ struct Fig7Config {
   /// Deployment geometry: how many banks the stored rows are sharded
   /// across. run() rejects datasets that exceed shards x bank capacity
   /// (previously capacity was silently ignored). The replay's accuracy is
-  /// shard-invariant — every per-pair signal and noise stream is keyed by
-  /// (query, row), never by bank placement — so larger databases only
+  /// shard-invariant — every per-pair signal is silicon-deterministic and
+  /// every noise stream is keyed by (arm, query, row), never by bank
+  /// placement or by another arm's schedule — so larger databases only
   /// need a larger `shards` here.
   std::size_t shards = 1;
 };
@@ -76,10 +77,10 @@ class Fig7Runner {
 
 /// Accuracy + energy comparison on a multi-bank database: the sharded
 /// accelerator (the paper's high-recall filter, scaled past one bank's
-/// capacity) against the Kraken-like exact k-mer classifier, with the
-/// CM-CPU baseline supplying both the gold-standard decisions and the
-/// modelled host cost. This is the Fig. 7-style comparison for databases
-/// that do not fit a single bank.
+/// capacity) and the batched EDAM comparator against the Kraken-like exact
+/// k-mer classifier, with the CM-CPU baseline supplying both the
+/// gold-standard decisions and the modelled host cost. This is the
+/// Fig. 7-style comparison for databases that do not fit a single bank.
 struct ShardedComparisonConfig {
   AsmcapConfig bank;          ///< ONE bank's geometry.
   std::size_t shards = 2;
@@ -87,6 +88,14 @@ struct ShardedComparisonConfig {
   StrategyMode mode = StrategyMode::Full;
   KrakenLikeConfig kraken;
   CmCpuConfig cmcpu;
+  /// EDAM contender (the paper's primary comparator, batched through its
+  /// own engine). Geometry and ideal_sensing mirror `bank` at run time
+  /// (array_count is raised to fit the dataset); only the current-domain
+  /// process parameters and the SR schedule are taken from here.
+  EdamConfig edam;
+  /// Which EDAM backend runs the batch (circuit = cell-accurate,
+  /// functional = fast with identical decisions under ideal sensing).
+  BackendKind edam_backend = BackendKind::Circuit;
   std::size_t workers = 1;
 };
 
@@ -94,12 +103,17 @@ struct ShardedComparisonResult {
   std::size_t segments = 0;
   std::size_t shards = 0;
   ConfusionMatrix cm_asmcap;
+  ConfusionMatrix cm_edam;
   ConfusionMatrix cm_kraken;
   double asmcap_f1 = 0.0;
+  double edam_f1 = 0.0;
   double kraken_f1 = 0.0;
   /// Aggregate router-ledger totals for the whole query batch.
   double accel_latency_seconds = 0.0;
   double accel_energy_joules = 0.0;
+  /// EDAM batch totals (latency summed in read order, like the ledger's).
+  double edam_latency_seconds = 0.0;
+  double edam_energy_joules = 0.0;
   /// Modelled CM-CPU cost for the same batch (the exact host doing all
   /// the work itself, Fig. 8's normalisation subject).
   double cmcpu_seconds = 0.0;
@@ -169,6 +183,19 @@ struct ReadLengthConfig {
   double threshold_fraction = 0.015;
   ErrorRates rates = ErrorRates::condition_a();
 };
+
+/// Fork salts of the read-length sweep's two stream domains. The dataset
+/// synthesis and the experiment replay of one length must never share a
+/// stream with ANY other (domain, length) pair — the seed-era salts
+/// (`length` and `length + 1`) collided for consecutive lengths, coupling
+/// length L's replay noise to length L+1's dataset. Disjoint high-bit
+/// domains make every pair unique (tested in test_experiment).
+constexpr std::uint64_t readlength_dataset_salt(std::size_t length) {
+  return 0xDA7A'0000'0000'0000ULL | static_cast<std::uint64_t>(length);
+}
+constexpr std::uint64_t readlength_run_salt(std::size_t length) {
+  return 0x4E55'0000'0000'0000ULL | static_cast<std::uint64_t>(length);
+}
 
 std::vector<ReadLengthPoint> run_readlength(const ReadLengthConfig& config,
                                             const ProcessParams& process,

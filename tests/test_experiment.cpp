@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+
 #include "eval/report.h"
 
 namespace asmcap {
@@ -142,6 +145,81 @@ TEST(Fig7Runner, EmptyThresholdsThrow) {
   Rng rng(713);
   const Dataset dataset = small_dataset(true, rng);
   EXPECT_THROW(Fig7Runner().run(dataset, {}, rng), std::invalid_argument);
+}
+
+TEST_F(Fig7Test, EdamSrFlipLeavesAsmcapArmsBitIdentical) {
+  // Regression: the replay used to thread ONE sequential noise stream
+  // through all contender arms, so enabling EDAM's SR shifted the draws —
+  // and the accuracy — of the ASMCap arms. Noise is now forked per
+  // (arm, query, row): flipping edam_sr_enabled must leave every asmcap_*
+  // F1 (and the kraken baseline) bit-identical.
+  Rng rng(721);
+  const Dataset dataset = small_dataset(/*condition_a=*/true, rng);
+  Fig7Config without_sr = small_config();
+  Fig7Config with_sr = small_config();
+  with_sr.edam_sr_enabled = true;
+  Rng rng_a(722);
+  Rng rng_b(722);
+  const Fig7Series a =
+      Fig7Runner(without_sr).run(dataset, {1, 2, 4, 8}, rng_a);
+  const Fig7Series b = Fig7Runner(with_sr).run(dataset, {1, 2, 4, 8}, rng_b);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t t = 0; t < a.points.size(); ++t) {
+    EXPECT_DOUBLE_EQ(a.points[t].asmcap_base, b.points[t].asmcap_base);
+    EXPECT_DOUBLE_EQ(a.points[t].asmcap_hdac, b.points[t].asmcap_hdac);
+    EXPECT_DOUBLE_EQ(a.points[t].asmcap_tasr, b.points[t].asmcap_tasr);
+    EXPECT_DOUBLE_EQ(a.points[t].asmcap_full, b.points[t].asmcap_full);
+    EXPECT_DOUBLE_EQ(a.points[t].kraken, b.points[t].kraken);
+  }
+}
+
+TEST(ReadLength, SaltDomainsDisjointForConsecutiveLengths) {
+  // Regression: the sweep forked rng.fork(L) for length L's dataset and
+  // rng.fork(L + 1) for its run, so length L's run stream collided with
+  // length L+1's dataset stream. The salted domains must never collide.
+  std::set<std::uint64_t> salts;
+  for (std::size_t length = 64; length <= 1025; ++length) {
+    salts.insert(readlength_dataset_salt(length));
+    salts.insert(readlength_run_salt(length));
+  }
+  EXPECT_EQ(salts.size(), 2u * (1025u - 64u + 1u));
+  // The historical collision, spelled out: L's run vs (L+1)'s dataset.
+  Rng rng(723);
+  for (const std::size_t length : {64u, 128u, 256u, 512u, 1024u}) {
+    EXPECT_NE(readlength_run_salt(length),
+              readlength_dataset_salt(length + 1));
+    Rng run_stream = rng.fork(readlength_run_salt(length));
+    Rng next_dataset_stream = rng.fork(readlength_dataset_salt(length + 1));
+    EXPECT_NE(run_stream.next(), next_dataset_stream.next());
+  }
+}
+
+TEST(ShardedComparison, IncludesEdamContender) {
+  Rng rng(725);
+  DatasetConfig dataset_config = condition_a_config(32, 24);
+  dataset_config.segment_length = 64;
+  const Dataset dataset = build_dataset(dataset_config, rng);
+
+  ShardedComparisonConfig config;
+  config.bank.array_rows = 16;
+  config.bank.array_cols = 64;
+  config.bank.array_count = 1;
+  config.bank.ideal_sensing = true;
+  config.shards = 2;
+  config.threshold = 4;
+  config.workers = 2;
+  config.kraken.k = 16;
+  config.edam_backend = BackendKind::Functional;
+  const ShardedComparisonResult result =
+      run_sharded_comparison(config, dataset);
+  EXPECT_EQ(result.cm_edam.total(), dataset.pair_count());
+  EXPECT_GE(result.edam_f1, 0.0);
+  EXPECT_LE(result.edam_f1, 1.0);
+  EXPECT_GT(result.edam_energy_joules, 0.0);
+  EXPECT_GT(result.edam_latency_seconds, 0.0);
+  // Ideal sensing and no strategies on either side: same ED* filter, so
+  // EDAM matches the plain ASMCap decisions' quality envelope.
+  EXPECT_GT(result.edam_f1, 0.5);
 }
 
 }  // namespace

@@ -35,6 +35,7 @@ src/asmcap/accelerator.h
 src/asmcap/sharded.h
 src/asmcap/readmapper.h
 src/asmcap/backend.h
+src/asmcap/edam.h
 src/asmcap/service.h
 src/util/thread_pool.h
 "
