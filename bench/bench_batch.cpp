@@ -7,22 +7,31 @@
 // for the comparator: serial circuit path vs batched functional backend,
 // with a decision-digest equality assertion (EDAM's content-keyed query
 // streams make serial and batched execution bit-identical, test_edam).
+// When a SIMD kernel tier is active, a scalar-tier arm reruns the
+// functional batch with ASMCAP_KERNEL-style forcing and asserts the
+// decision digests are bit-identical across tiers (the kernels' cross-ISA
+// contract) while the SIMD tier must clear a 2x throughput floor on
+// timeable workloads.
 //
-//   ./bench_batch [reads] [segments] [workers]
+//   ./bench_batch [reads] [segments] [workers] [--json <path>]
 //
-// Exits non-zero if any decisions diverge, so it can double as a check.
+// Exits non-zero if any decisions diverge (across backends, batching, or
+// kernel tiers) or the SIMD floor is missed, so it doubles as a check.
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "align/kernels.h"
 #include "asmcap/accelerator.h"
 #include "asmcap/edam.h"
 #include "genome/readsim.h"
 #include "genome/reference.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -37,25 +46,25 @@ double seconds_since(Clock::time_point start) {
 
 /// FNV-1a digest over a batch's decision bitmaps: two runs made the same
 /// calls iff their digests agree.
-std::uint64_t decision_digest(const std::vector<EdamQueryResult>& results) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const EdamQueryResult& result : results)
-    for (const bool decision : result.decisions) {
-      hash ^= decision ? 0x9eULL : 0x3bULL;
-      hash *= 0x100000001b3ULL;
-    }
-  return hash;
+template <typename Result>
+std::uint64_t decision_digest(const std::vector<Result>& results) {
+  DecisionDigest digest;
+  for (const Result& result : results)
+    for (const bool decision : result.decisions) digest.add(decision);
+  return digest.value();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string json_path = take_bench_json_path(args);
   const std::size_t n_reads =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000;
+      args.size() > 0 ? std::strtoull(args[0].c_str(), nullptr, 10) : 1000;
   const std::size_t n_segments =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1024;
+      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 1024;
   const std::size_t workers =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+      args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 4;
   const std::size_t threshold = 4;
 
   AsmcapConfig config;
@@ -80,11 +89,12 @@ int main(int argc, char** argv) {
     reads.push_back(
         simulator.simulate_at(rng.below(n_segments) * 256, rng).read);
 
+  const KernelTier tier = active_kernel_tier();
   std::printf(
       "workload: %zu reads x %zu segments (%zu arrays), T=%zu, full "
-      "HDAC+TASR, %zu workers (%zu hardware)\n\n",
+      "HDAC+TASR, %zu workers (%zu hardware), %s kernels\n\n",
       n_reads, n_segments, config.array_count, threshold, workers,
-      ThreadPool::hardware_workers());
+      ThreadPool::hardware_workers(), to_string(tier));
 
   // --- Seed path: one read at a time through the circuit backend. ---------
   AsmcapAccelerator circuit(config);
@@ -107,6 +117,28 @@ int main(int argc, char** argv) {
   const std::vector<QueryResult> batch_results =
       functional.search_batch(reads, threshold, StrategyMode::Full, workers);
   const double batch_seconds = seconds_since(batch_start);
+
+  // --- Scalar-tier arm: the same functional batch on scalar kernels. ------
+  // A fresh accelerator with the same seed forks the exact same per-read
+  // streams, so the digests must be bit-identical across kernel tiers (the
+  // cross-ISA contract of align/kernels.h); on timeable workloads the SIMD
+  // tier must also clear a 2x throughput floor over scalar.
+  double scalar_seconds = 0.0;
+  std::uint64_t scalar_tier_digest = 0;
+  if (tier != KernelTier::Scalar) {
+    AsmcapAccelerator functional_scalar(config);
+    functional_scalar.load_reference(segments);
+    functional_scalar.set_error_profile(ErrorRates::condition_a());
+    functional_scalar.set_backend(BackendKind::Functional);
+    set_active_kernel_tier(KernelTier::Scalar);
+    const auto scalar_start = Clock::now();
+    const std::vector<QueryResult> scalar_results =
+        functional_scalar.search_batch(reads, threshold, StrategyMode::Full,
+                                       workers);
+    scalar_seconds = seconds_since(scalar_start);
+    set_active_kernel_tier(tier);
+    scalar_tier_digest = decision_digest(scalar_results);
+  }
 
   // --- Equivalence: identical match decisions on every read. --------------
   // HDAC's probabilistic selection makes a query's outcome depend on its
@@ -164,10 +196,18 @@ int main(int argc, char** argv) {
       .add_cell(format_si(circuit_seconds / static_cast<double>(n_reads),
                           "s"));
   table.new_row()
-      .add_cell("functional, batched")
+      .add_cell(std::string("functional, batched (") + to_string(tier) + ")")
       .add_cell(format_si(batch_seconds, "s"))
       .add_cell(format_si(static_cast<double>(n_reads) / batch_seconds, ""))
       .add_cell(format_si(batch_seconds / static_cast<double>(n_reads), "s"));
+  if (tier != KernelTier::Scalar)
+    table.new_row()
+        .add_cell("functional, batched (scalar tier)")
+        .add_cell(format_si(scalar_seconds, "s"))
+        .add_cell(
+            format_si(static_cast<double>(n_reads) / scalar_seconds, ""))
+        .add_cell(
+            format_si(scalar_seconds / static_cast<double>(n_reads), "s"));
   table.new_row()
       .add_cell("EDAM circuit, single-read (serial)")
       .add_cell(format_si(edam_serial_seconds, "s"))
@@ -184,13 +224,66 @@ int main(int argc, char** argv) {
                           "s"));
   table.print(std::cout);
 
+  const std::uint64_t batch_digest = decision_digest(batch_results);
+  const double engine_speedup = circuit_seconds / batch_seconds;
+  const double simd_speedup =
+      tier != KernelTier::Scalar ? scalar_seconds / batch_seconds : 1.0;
   std::printf("\nspeedup: %.1fx, decisions identical on %zu/%zu reads\n",
-              circuit_seconds / batch_seconds, n_reads - divergent, n_reads);
+              engine_speedup, n_reads - divergent, n_reads);
+  if (tier != KernelTier::Scalar)
+    std::printf(
+        "SIMD speedup (%s vs scalar tier): %.1fx, decision digest %016llx "
+        "%s across tiers\n",
+        to_string(tier), simd_speedup,
+        static_cast<unsigned long long>(batch_digest),
+        batch_digest == scalar_tier_digest ? "identical" : "DIVERGED");
   std::printf(
       "EDAM speedup: %.1fx, decision digest %016llx (serial) %s (batched)\n",
       edam_serial_seconds / edam_batch_seconds,
       static_cast<unsigned long long>(edam_serial_digest),
       edam_serial_digest == edam_batch_digest ? "==" : "!=");
+
+  // The SIMD throughput floor needs a timeable workload and a machine that
+  // is not a single busy core (mirroring bench_sharded's carve-out);
+  // digest equality across tiers is enforced unconditionally.
+  const bool enforce_simd_floor = tier != KernelTier::Scalar &&
+                                  n_reads >= 100 &&
+                                  ThreadPool::hardware_workers() >= 2;
+
+  if (!json_path.empty()) {
+    DecisionDigest combined;
+    combined.add_u64(batch_digest);
+    combined.add_u64(edam_batch_digest);
+    BenchReport report;
+    report.bench = "bench_batch";
+    report.kernel_tier = to_string(tier);
+    report.hardware_threads = ThreadPool::hardware_workers();
+    report.workload = {{"reads", static_cast<double>(n_reads)},
+                       {"segments", static_cast<double>(n_segments)},
+                       {"workers", static_cast<double>(workers)},
+                       {"threshold", static_cast<double>(threshold)}};
+    report.timings = {
+        {"circuit-single-read", circuit_seconds,
+         static_cast<double>(n_reads) / circuit_seconds},
+        {"functional-batched", batch_seconds,
+         static_cast<double>(n_reads) / batch_seconds},
+        {"edam-circuit-serial", edam_serial_seconds,
+         static_cast<double>(n_reads) / edam_serial_seconds},
+        {"edam-functional-batched", edam_batch_seconds,
+         static_cast<double>(n_reads) / edam_batch_seconds}};
+    if (tier != KernelTier::Scalar)
+      report.timings.push_back({"functional-batched-scalar-tier",
+                                scalar_seconds,
+                                static_cast<double>(n_reads) / scalar_seconds});
+    report.metrics = {
+        {"edam_speedup", edam_serial_seconds / edam_batch_seconds},
+        {"simd_speedup", simd_speedup}};
+    report.speedup = engine_speedup;
+    report.decision_digest = combined.value();
+    report.floor_enforced = enforce_simd_floor;
+    write_bench_json(json_path, report);
+  }
+
   if (divergent != 0) {
     std::fprintf(stderr, "FAIL: %zu reads diverged\n", divergent);
     return 1;
@@ -199,5 +292,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: EDAM serial/batched decision digests diverged\n");
     return 1;
   }
+  if (tier != KernelTier::Scalar && batch_digest != scalar_tier_digest) {
+    std::fprintf(stderr,
+                 "FAIL: decision digests diverged between %s and scalar "
+                 "kernel tiers\n",
+                 to_string(tier));
+    return 1;
+  }
+  if (enforce_simd_floor && simd_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: %s kernel tier speedup %.2fx below the 2x floor\n",
+                 to_string(tier), simd_speedup);
+    return 1;
+  }
+  if (tier != KernelTier::Scalar && !enforce_simd_floor)
+    std::printf(
+        "(SIMD floor not enforced: %zu reads, %zu hardware threads)\n",
+        n_reads, ThreadPool::hardware_workers());
   return 0;
 }

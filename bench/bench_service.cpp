@@ -16,6 +16,7 @@
 // with a tiny database.
 //
 //   ./bench_service [reads] [segments] [chunk] [workers] [shards] [floor]
+//                   [--json <path>]
 //
 // Exits non-zero if digests diverge, if a ticket overruns its admission
 // window, or — when floor != 0 (the default) AND the machine has enough
@@ -32,12 +33,15 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "align/kernels.h"
 #include "asmcap/service.h"
 #include "asmcap/sharded.h"
 #include "genome/readsim.h"
 #include "genome/reference.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -62,18 +66,21 @@ std::uint64_t digest(const QueryResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string json_path = take_bench_json_path(args);
   const std::size_t n_reads =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 384;
+      args.size() > 0 ? std::strtoull(args[0].c_str(), nullptr, 10) : 384;
   const std::size_t n_segments =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1024;
+      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 1024;
   const std::size_t chunk =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 48;
+      args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 48;
   const std::size_t workers =
-      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 4;
+      args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 4;
   const std::size_t shards =
-      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 2;
+      args.size() > 4 ? std::strtoull(args[4].c_str(), nullptr, 10) : 2;
   const bool enforce_floor =
-      argc > 6 ? std::strtoull(argv[6], nullptr, 10) != 0 : true;
+      args.size() > 5 ? std::strtoull(args[5].c_str(), nullptr, 10) != 0
+                      : true;
   const std::size_t threshold = 4;
   if (n_reads == 0 || n_segments == 0 || chunk == 0 || workers == 0 ||
       shards == 0) {
@@ -192,6 +199,33 @@ int main(int argc, char** argv) {
       "in-flight window respected on %zu/%zu tickets\n",
       speedup, n_reads - divergent, n_reads, tickets.size() - overrun,
       tickets.size());
+
+  const bool floor_active = enforce_floor && workers >= 2 &&
+                            ThreadPool::hardware_workers() >= workers + 1;
+
+  if (!json_path.empty()) {
+    DecisionDigest combined;
+    for (const std::uint64_t d : stream_digest) combined.add_u64(d);
+    BenchReport report;
+    report.bench = "bench_service";
+    report.kernel_tier = to_string(active_kernel_tier());
+    report.hardware_threads = ThreadPool::hardware_workers();
+    report.workload = {{"reads", static_cast<double>(n_reads)},
+                       {"segments", static_cast<double>(n_segments)},
+                       {"chunk", static_cast<double>(chunk)},
+                       {"workers", static_cast<double>(workers)},
+                       {"shards", static_cast<double>(shards)},
+                       {"threshold", static_cast<double>(threshold)}};
+    report.timings = {{"synchronous-pipeline", sync_seconds,
+                       static_cast<double>(n_reads) / sync_seconds},
+                      {"streaming-pipeline", stream_seconds,
+                       static_cast<double>(n_reads) / stream_seconds}};
+    report.speedup = speedup;
+    report.decision_digest = combined.value();
+    report.floor_enforced = floor_active;
+    write_bench_json(json_path, report);
+  }
+
   if (divergent != 0) {
     std::fprintf(stderr, "FAIL: %zu reads diverged between pipelines\n",
                  divergent);
@@ -206,8 +240,7 @@ int main(int argc, char** argv) {
   // spawned workers (a workers == 1 pool is threadless, so the service
   // degrades to synchronous inline execution by design). CI smoke runs
   // disable the floor entirely (see the file comment).
-  if (enforce_floor && workers >= 2 &&
-      ThreadPool::hardware_workers() >= workers + 1) {
+  if (floor_active) {
     if (speedup < 1.15) {
       std::fprintf(stderr,
                    "FAIL: streaming speedup %.2fx below the 1.15x floor\n",

@@ -9,7 +9,7 @@
 // a router correctness check — CI runs it under ASan/UBSan with a tiny
 // database.
 //
-//   ./bench_sharded [segments] [reads] [shards] [workers]
+//   ./bench_sharded [segments] [reads] [shards] [workers] [--json <path>]
 //
 // Exits non-zero if decisions diverge, or — when the machine actually
 // has >= `shards` hardware threads and >= 4 workers were requested —
@@ -21,11 +21,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "align/kernels.h"
 #include "asmcap/sharded.h"
 #include "genome/readsim.h"
 #include "genome/reference.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -41,14 +44,16 @@ double seconds_since(Clock::time_point start) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string json_path = take_bench_json_path(args);
   const std::size_t n_segments =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4096;
+      args.size() > 0 ? std::strtoull(args[0].c_str(), nullptr, 10) : 4096;
   const std::size_t n_reads =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 64;
   const std::size_t shards =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+      args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 4;
   const std::size_t workers =
-      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : shards;
+      args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : shards;
   const std::size_t threshold = 4;
   if (n_segments == 0 || n_reads == 0 || shards == 0 || workers == 0) {
     std::fprintf(stderr,
@@ -138,17 +143,44 @@ int main(int argc, char** argv) {
 
   std::printf("\nspeedup: %.1fx, decisions identical on %zu/%zu reads\n",
               speedup, n_reads - divergent, n_reads);
-  if (divergent != 0) {
-    std::fprintf(stderr, "FAIL: %zu reads diverged between layouts\n",
-                 divergent);
-    return 1;
-  }
+
   // The parallel-speedup claim needs both the fan-out width and the cores
   // to exist: enforce it only for >= 4 shards, >= 4 workers, and hardware
   // that can run the fan-out concurrently — fewer shards cannot reach 2x
   // even ideally (CI smoke runs use fewer workers and only exercise the
   // router for correctness under the sanitizers).
-  if (shards >= 4 && workers >= 4 && ThreadPool::hardware_workers() >= shards) {
+  const bool enforce_floor = shards >= 4 && workers >= 4 &&
+                             ThreadPool::hardware_workers() >= shards;
+
+  if (!json_path.empty()) {
+    DecisionDigest digest;
+    for (const QueryResult& result : sharded_results)
+      for (const bool decision : result.decisions) digest.add(decision);
+    BenchReport report;
+    report.bench = "bench_sharded";
+    report.kernel_tier = to_string(active_kernel_tier());
+    report.hardware_threads = ThreadPool::hardware_workers();
+    report.workload = {{"segments", static_cast<double>(n_segments)},
+                       {"reads", static_cast<double>(n_reads)},
+                       {"shards", static_cast<double>(shards)},
+                       {"workers", static_cast<double>(workers)},
+                       {"threshold", static_cast<double>(threshold)}};
+    report.timings = {{"monolithic-serial-scan", mono_seconds,
+                       static_cast<double>(n_reads) / mono_seconds},
+                      {"sharded-router", sharded_seconds,
+                       static_cast<double>(n_reads) / sharded_seconds}};
+    report.speedup = speedup;
+    report.decision_digest = digest.value();
+    report.floor_enforced = enforce_floor;
+    write_bench_json(json_path, report);
+  }
+
+  if (divergent != 0) {
+    std::fprintf(stderr, "FAIL: %zu reads diverged between layouts\n",
+                 divergent);
+    return 1;
+  }
+  if (enforce_floor) {
     if (speedup < 2.0) {
       std::fprintf(stderr,
                    "FAIL: sharded speedup %.2fx below the 2x floor\n",

@@ -1,9 +1,10 @@
 #include "align/edstar.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstdint>
 #include <stdexcept>
+
+#include "align/kernels.h"
 
 namespace asmcap {
 
@@ -32,59 +33,33 @@ std::size_t ed_star(const Sequence& stored, const Sequence& read) {
 BitVec ed_star_mismatch_mask(const Sequence& stored, const Sequence& read) {
   if (stored.size() != read.size())
     throw std::invalid_argument("ed_star_mismatch_mask: length mismatch");
-  BitVec mask(stored.size());
-  for (std::size_t i = 0; i < stored.size(); ++i)
-    if (!cell_matches(stored, read, i)) mask.set(i);
-  return mask;
+  // Packed mask kernel: same cost model as the counting hot path (the
+  // BitVec consumers — CAM functional model, signal sweeps — used to walk
+  // cell-by-cell while the backends ran word-parallel).
+  const PackedReadView view(read);
+  const std::vector<std::uint64_t> packed_stored = stored.packed_words();
+  std::vector<std::uint64_t> flags(view.words);
+  ed_star_mismatch_words(packed_stored.data(), view, flags.data());
+  return lane_flags_to_bitvec(flags.data(), view.n);
 }
 
 bool ed_star_within(const Sequence& stored, const Sequence& read,
                     std::size_t threshold) {
   if (stored.size() != read.size())
     throw std::invalid_argument("ed_star_within: length mismatch");
-  std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < stored.size(); ++i) {
-    if (!cell_matches(stored, read, i) && ++mismatches > threshold)
-      return false;
-  }
-  return true;
+  // The packed count beats the early-exit cell walk even when the walk
+  // exits early (and matches the hardware, which always drives all cells).
+  return ed_star_packed(stored.packed_words(), read.packed_words(),
+                        stored.size()) <= threshold;
 }
 
 std::size_t ed_star_packed(const std::vector<std::uint64_t>& stored,
                            const std::vector<std::uint64_t>& read,
                            std::size_t n) {
-  // Lane i (bits 2i, 2i+1) holds one base; kLanes selects the low bit of
-  // every lane, where the equality tests below leave their result.
-  constexpr std::uint64_t kLanes = 0x5555555555555555ULL;
-  const auto eq = [](std::uint64_t a, std::uint64_t b) {
-    const std::uint64_t x = a ^ b;
-    return ~(x | (x >> 1)) & kLanes;
-  };
-  const std::size_t words = (n + 31) / 32;
-  std::size_t mismatches = 0;
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::uint64_t q = stored[w];
-    const std::uint64_t r = read[w];
-    // R[i-1] aligned into lane i (shift up one lane, carry across words).
-    const std::uint64_t r_prev = (r << 2) | (w > 0 ? read[w - 1] >> 62 : 0);
-    // R[i+1] aligned into lane i (shift down one lane).
-    const std::uint64_t r_next =
-        (r >> 2) | (w + 1 < words ? read[w + 1] << 62 : 0);
-
-    std::uint64_t left = eq(q, r_prev);
-    if (w == 0) left &= ~std::uint64_t{1};  // cell 0 has no left neighbour
-    std::uint64_t right = eq(q, r_next);
-    if (w == (n - 1) / 32)                  // cell n-1 has no right neighbour
-      right &= ~(std::uint64_t{1} << (2 * ((n - 1) % 32)));
-
-    const std::uint64_t match = eq(q, r) | left | right;
-    std::uint64_t valid = kLanes;
-    if (w + 1 == words && n % 32 != 0)
-      valid &= (std::uint64_t{1} << (2 * (n % 32))) - 1;
-    mismatches +=
-        static_cast<std::size_t>(std::popcount(~match & valid));
-  }
-  return mismatches;
+  const PackedReadView view(read, n);
+  std::uint32_t count = 0;
+  ed_star_packed_block(stored.data(), 1, view, &count);
+  return count;
 }
 
 std::vector<Sequence> rotation_schedule(const Sequence& read,

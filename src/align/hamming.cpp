@@ -1,8 +1,9 @@
 #include "align/hamming.h"
 
-#include <bit>
 #include <cstdint>
 #include <stdexcept>
+
+#include "align/kernels.h"
 
 namespace asmcap {
 
@@ -18,35 +19,31 @@ std::size_t hamming_distance(const Sequence& a, const Sequence& b) {
 BitVec hamming_mismatch_mask(const Sequence& a, const Sequence& b) {
   if (a.size() != b.size())
     throw std::invalid_argument("hamming_mismatch_mask: length mismatch");
-  BitVec mask(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i)
-    if (a[i] != b[i]) mask.set(i);
-  return mask;
+  // Packed mask kernel, same cost model as the counting hot path. The
+  // Hamming kernels never read the ED* neighbour alignments, so the view
+  // skips them (neighbours = false).
+  const PackedReadView view(b, /*neighbours=*/false);
+  const std::vector<std::uint64_t> packed_a = a.packed_words();
+  std::vector<std::uint64_t> flags(view.words);
+  hamming_mismatch_words(packed_a.data(), view, flags.data());
+  return lane_flags_to_bitvec(flags.data(), view.n);
 }
 
 bool hamming_within(const Sequence& a, const Sequence& b,
                     std::size_t threshold) {
   if (a.size() != b.size())
     throw std::invalid_argument("hamming_within: length mismatch");
-  std::size_t distance = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] != b[i] && ++distance > threshold) return false;
-  }
-  return true;
+  return hamming_packed(a.packed_words(), b.packed_words(), a.size()) <=
+         threshold;
 }
 
 std::size_t hamming_packed(const std::vector<std::uint64_t>& a,
                            const std::vector<std::uint64_t>& b,
                            std::size_t n) {
-  constexpr std::uint64_t kLanes = 0x5555555555555555ULL;
-  const std::size_t words = (n + 31) / 32;
-  std::size_t distance = 0;
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::uint64_t x = a[w] ^ b[w];
-    // Tail lanes of both operands are zero, so they never contribute.
-    distance += static_cast<std::size_t>(std::popcount((x | (x >> 1)) & kLanes));
-  }
-  return distance;
+  const PackedReadView view(b, n, /*neighbours=*/false);
+  std::uint32_t count = 0;
+  hamming_packed_block(a.data(), 1, view, &count);
+  return count;
 }
 
 }  // namespace asmcap

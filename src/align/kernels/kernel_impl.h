@@ -1,0 +1,96 @@
+#pragma once
+// Internal: per-tier kernel entry points and the shared scalar-word row
+// helpers. The AVX2/NEON tiers reuse ed_star_row_scalar /
+// hamming_row_scalar for their sub-vector-width tail words, so every tier
+// computes the exact same counts by construction. Not part of the public
+// API — include align/kernels.h instead.
+//
+// The helpers are `static` (internal linkage), NOT `inline`: this header
+// is included by translation units compiled with different ISA flags
+// (kernels.cpp at the baseline, kernels_avx2.cpp with -mavx2), and an
+// inline (comdat) definition would let the linker keep whichever TU's
+// copy it saw first — possibly the AVX2-codegen one — inside the scalar
+// dispatch path, breaking the fallback tier on non-AVX2 CPUs. With
+// internal linkage every TU calls the copy compiled with its own flags.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "align/kernels.h"
+
+namespace asmcap::detail {
+
+/// Low bit of every 2-bit lane.
+inline constexpr std::uint64_t kLanes = 0x5555555555555555ULL;
+
+/// Per-lane equality of two packed words: low lane bit set iff the 2-bit
+/// codes agree.
+static inline std::uint64_t lane_eq(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t x = a ^ b;
+  return ~(x | (x >> 1)) & kLanes;
+}
+
+/// ED* mismatch flags of one packed word `q` of a stored row (word index
+/// w) against the view: low lane bit set iff the cell mismatches.
+static inline std::uint64_t ed_star_mismatch_word(std::uint64_t q,
+                                                  const PackedReadView& view,
+                                                  std::size_t w) {
+  const std::uint64_t match =
+      lane_eq(q, view.r[w]) | (lane_eq(q, view.r_prev[w]) & view.left_ok[w]) |
+      (lane_eq(q, view.r_next[w]) & view.right_ok[w]);
+  return ~match & view.valid[w];
+}
+
+/// Hamming mismatch flags of one packed word (tail lanes of both operands
+/// are zero, so they never contribute). Only reads view.r — usable with a
+/// neighbours-free view.
+static inline std::uint64_t hamming_mismatch_word(std::uint64_t q,
+                                                  const PackedReadView& view,
+                                                  std::size_t w) {
+  const std::uint64_t x = q ^ view.r[w];
+  return (x | (x >> 1)) & kLanes;
+}
+
+/// Scalar-word ED* count of words [w_begin, w_end) of one row.
+static inline std::uint32_t ed_star_row_scalar(const std::uint64_t* row,
+                                               const PackedReadView& view,
+                                               std::size_t w_begin,
+                                               std::size_t w_end) {
+  std::uint32_t count = 0;
+  for (std::size_t w = w_begin; w < w_end; ++w)
+    count += static_cast<std::uint32_t>(
+        std::popcount(ed_star_mismatch_word(row[w], view, w)));
+  return count;
+}
+
+/// Scalar-word Hamming count of words [w_begin, w_end) of one row.
+static inline std::uint32_t hamming_row_scalar(const std::uint64_t* row,
+                                               const PackedReadView& view,
+                                               std::size_t w_begin,
+                                               std::size_t w_end) {
+  std::uint32_t count = 0;
+  for (std::size_t w = w_begin; w < w_end; ++w)
+    count += static_cast<std::uint32_t>(
+        std::popcount(hamming_mismatch_word(row[w], view, w)));
+  return count;
+}
+
+// Tier entry points. The scalar pair is always compiled; the AVX2/NEON
+// pairs live in their own translation units compiled with the right -m
+// flags (see CMakeLists.txt) and are referenced only when the matching
+// ASMCAP_HAVE_* macro is defined.
+void ed_star_block_scalar(const std::uint64_t* rows, std::size_t n_rows,
+                          const PackedReadView& read, std::uint32_t* counts);
+void hamming_block_scalar(const std::uint64_t* rows, std::size_t n_rows,
+                          const PackedReadView& read, std::uint32_t* counts);
+void ed_star_block_avx2(const std::uint64_t* rows, std::size_t n_rows,
+                        const PackedReadView& read, std::uint32_t* counts);
+void hamming_block_avx2(const std::uint64_t* rows, std::size_t n_rows,
+                        const PackedReadView& read, std::uint32_t* counts);
+void ed_star_block_neon(const std::uint64_t* rows, std::size_t n_rows,
+                        const PackedReadView& read, std::uint32_t* counts);
+void hamming_block_neon(const std::uint64_t* rows, std::size_t n_rows,
+                        const PackedReadView& read, std::uint32_t* counts);
+
+}  // namespace asmcap::detail

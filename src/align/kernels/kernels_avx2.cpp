@@ -1,0 +1,115 @@
+// AVX2 kernel tier: 4 packed words (128 cells) per vector op. Compiled in
+// its own object library with -mavx2 (see CMakeLists.txt); only executed
+// after __builtin_cpu_supports("avx2") says the CPU can. Counts are exact
+// popcounts, bit-identical to the scalar tier: the vector body computes the
+// same per-word mismatch flags, and sub-vector tail words fall through to
+// the shared scalar row helpers.
+
+#include "align/kernels/kernel_impl.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace asmcap::detail {
+
+namespace {
+
+/// Per-lane equality of four packed words at once (the vector form of
+/// lane_eq): low lane bit set iff the 2-bit codes agree.
+inline __m256i lane_eq4(__m256i a, __m256i b, __m256i lanes) {
+  const __m256i x = _mm256_xor_si256(a, b);
+  return _mm256_andnot_si256(
+      _mm256_or_si256(x, _mm256_srli_epi64(x, 1)), lanes);
+}
+
+/// Per-64-bit-word popcounts of `v`, summed into 4 lanes of 64-bit counts
+/// (classic nibble-LUT pshufb popcount + sad accumulation).
+inline __m256i popcount4(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low4 = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low4);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), low4);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline std::uint32_t horizontal_sum4(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(_mm_cvtsi128_si64(sum)) +
+      static_cast<std::uint64_t>(
+          _mm_cvtsi128_si64(_mm_unpackhi_epi64(sum, sum))));
+}
+
+}  // namespace
+
+void ed_star_block_avx2(const std::uint64_t* rows, std::size_t n_rows,
+                        const PackedReadView& read, std::uint32_t* counts) {
+  const std::size_t W = read.words;
+  const std::size_t W4 = W & ~std::size_t{3};
+  const __m256i lanes = _mm256_set1_epi64x(
+      static_cast<long long>(kLanes));
+  for (std::size_t g = 0; g < n_rows; ++g) {
+    const std::uint64_t* row = rows + g * W;
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < W4; w += 4) {
+      const __m256i q = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(row + w));
+      const __m256i r = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(read.r.data() + w));
+      const __m256i rp = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(read.r_prev.data() + w));
+      const __m256i rn = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(read.r_next.data() + w));
+      const __m256i lok = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(read.left_ok.data() + w));
+      const __m256i rok = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(read.right_ok.data() + w));
+      const __m256i val = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(read.valid.data() + w));
+      const __m256i match = _mm256_or_si256(
+          lane_eq4(q, r, lanes),
+          _mm256_or_si256(
+              _mm256_and_si256(lane_eq4(q, rp, lanes), lok),
+              _mm256_and_si256(lane_eq4(q, rn, lanes), rok)));
+      acc = _mm256_add_epi64(acc,
+                             popcount4(_mm256_andnot_si256(match, val)));
+    }
+    counts[g] = horizontal_sum4(acc) + ed_star_row_scalar(row, read, W4, W);
+  }
+}
+
+void hamming_block_avx2(const std::uint64_t* rows, std::size_t n_rows,
+                        const PackedReadView& read, std::uint32_t* counts) {
+  const std::size_t W = read.words;
+  const std::size_t W4 = W & ~std::size_t{3};
+  const __m256i lanes = _mm256_set1_epi64x(
+      static_cast<long long>(kLanes));
+  for (std::size_t g = 0; g < n_rows; ++g) {
+    const std::uint64_t* row = rows + g * W;
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < W4; w += 4) {
+      const __m256i q = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(row + w));
+      const __m256i r = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(read.r.data() + w));
+      const __m256i x = _mm256_xor_si256(q, r);
+      const __m256i mis = _mm256_and_si256(
+          _mm256_or_si256(x, _mm256_srli_epi64(x, 1)), lanes);
+      acc = _mm256_add_epi64(acc, popcount4(mis));
+    }
+    counts[g] = horizontal_sum4(acc) + hamming_row_scalar(row, read, W4, W);
+  }
+}
+
+}  // namespace asmcap::detail
+
+#else
+#error "kernels_avx2.cpp must be compiled with -mavx2 (CMake object library)"
+#endif  // __AVX2__

@@ -28,14 +28,17 @@ RawSearch AsmcapArrayUnit::search_raw(const Sequence& read, MatchMode mode) {
 RawSearch AsmcapArrayUnit::measure(const Sequence& read, MatchMode mode,
                                    double* energy_joules) const {
   double energy = sl_driver_.drive_energy(read);
+  // One shared PackedReadView per pass (inside search_masks): the
+  // read-derived kernel work is done once for the whole array, not once
+  // per row.
+  const std::vector<BitVec> masks = array_.search_masks(read, mode);
   RawSearch raw;
   raw.counts.reserve(rows());
   raw.vml.reserve(rows());
   for (std::size_t r = 0; r < rows(); ++r) {
-    const BitVec mask = array_.row_mismatch_mask(r, read, mode);
-    const std::size_t count = mask.popcount();
+    const std::size_t count = masks[r].popcount();
     raw.counts.push_back(count);
-    raw.vml.push_back(readout_.settle_row(r, mask));
+    raw.vml.push_back(readout_.settle_row(r, masks[r]));
     // Matchline energy per row (paper Eq. 1 with M = 1).
     energy += readout_.matchline(r).search_energy(count);
   }

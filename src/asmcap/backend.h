@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "align/kernels.h"
 #include "asmcap/array_unit.h"
 #include "asmcap/config.h"
 #include "asmcap/mapper.h"
@@ -105,21 +106,24 @@ class CircuitBackend : public ExecutionBackend {
   std::size_t segment_base_;
 };
 
-/// Fast functional backend: word-parallel kernels over 2-bit packed
-/// segments, ideal (noise-free) decisions, nominal analytic energy.
+/// Fast functional backend: SIMD-dispatched block kernels
+/// (align/kernels.h) over a row-major 2-bit packed segment matrix, ideal
+/// (noise-free) decisions, nominal analytic energy. Each pass builds one
+/// PackedReadView — the read-derived neighbour alignments are computed
+/// once per (read, rotation), not once per (segment, read).
 class FunctionalBackend : public ExecutionBackend {
  public:
   FunctionalBackend(const std::vector<Sequence>& segments,
                     const AsmcapConfig& config);
 
   const char* name() const override { return "functional"; }
-  std::size_t segment_count() const override { return packed_.size(); }
+  std::size_t segment_count() const override { return packed_.rows(); }
   PassResult run_pass(const Sequence& read, MatchMode mode,
                       std::size_t threshold, const Rng& query_rng,
                       std::uint64_t pass_salt) const override;
 
  private:
-  std::vector<std::vector<std::uint64_t>> packed_;  ///< Per-segment words.
+  PackedRowMatrix packed_;  ///< Row-major packed segments.
   std::size_t cols_;
   std::size_t arrays_in_use_;
   ChargeDomainParams charge_;
@@ -161,13 +165,13 @@ class EdamFunctionalBackend : public ExecutionBackend {
                         const CurrentDomainParams& params, std::size_t cols);
 
   const char* name() const override { return "edam-functional"; }
-  std::size_t segment_count() const override { return packed_.size(); }
+  std::size_t segment_count() const override { return packed_.rows(); }
   PassResult run_pass(const Sequence& read, MatchMode mode,
                       std::size_t threshold, const Rng& query_rng,
                       std::uint64_t pass_salt) const override;
 
  private:
-  std::vector<std::vector<std::uint64_t>> packed_;  ///< Per-segment words.
+  PackedRowMatrix packed_;  ///< Row-major packed segments.
   CurrentDomainParams params_;
   std::size_t cols_;
 };

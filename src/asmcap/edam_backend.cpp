@@ -6,8 +6,7 @@
 
 #include <stdexcept>
 
-#include "align/edstar.h"
-#include "align/hamming.h"
+#include "align/kernels.h"
 #include "asmcap/backend.h"
 #include "circuit/matchline.h"
 
@@ -55,11 +54,7 @@ PassResult EdamCircuitBackend::run_pass(const Sequence& read, MatchMode mode,
 EdamFunctionalBackend::EdamFunctionalBackend(
     const std::vector<Sequence>& segments, const CurrentDomainParams& params,
     std::size_t cols)
-    : params_(params), cols_(cols) {
-  packed_.reserve(segments.size());
-  for (const Sequence& segment : segments)
-    packed_.push_back(segment.packed_words());
-}
+    : packed_(segments, cols), params_(params), cols_(cols) {}
 
 PassResult EdamFunctionalBackend::run_pass(const Sequence& read,
                                            MatchMode mode,
@@ -68,17 +63,20 @@ PassResult EdamFunctionalBackend::run_pass(const Sequence& read,
                                            std::uint64_t /*pass_salt*/) const {
   if (read.size() != cols_)
     throw std::invalid_argument("EdamFunctionalBackend: read width mismatch");
-  const std::vector<std::uint64_t> packed_read = read.packed_words();
+  // Read-derived work once per (read, rotation), then one SIMD-dispatched
+  // block sweep over the whole packed segment matrix.
+  const PackedReadView view(read);
+  std::vector<std::uint32_t> counts(packed_.rows());
+  const KernelOps& ops = active_kernel_ops();
+  (mode == MatchMode::Hamming ? ops.hamming_block : ops.ed_star_block)(
+      packed_.data(), packed_.rows(), view, counts.data());
 
   PassResult result;
-  result.decisions.assign(packed_.size(), false);
-  for (std::size_t g = 0; g < packed_.size(); ++g) {
-    const std::size_t count =
-        mode == MatchMode::Hamming
-            ? hamming_packed(packed_[g], packed_read, cols_)
-            : ed_star_packed(packed_[g], packed_read, cols_);
-    result.decisions[g] = count <= threshold;
-    result.energy_joules += current_row_search_energy(count, cols_, params_);
+  result.decisions.assign(packed_.rows(), false);
+  for (std::size_t g = 0; g < packed_.rows(); ++g) {
+    result.decisions[g] = counts[g] <= threshold;
+    result.energy_joules +=
+        current_row_search_energy(counts[g], cols_, params_);
   }
   return result;
 }

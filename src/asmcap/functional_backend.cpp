@@ -1,7 +1,6 @@
 #include <stdexcept>
 
-#include "align/edstar.h"
-#include "align/hamming.h"
+#include "align/kernels.h"
 #include "asmcap/backend.h"
 
 namespace asmcap {
@@ -21,17 +20,14 @@ double nominal_row_energy(std::size_t n_mis, std::size_t n_cells,
 
 FunctionalBackend::FunctionalBackend(const std::vector<Sequence>& segments,
                                      const AsmcapConfig& config)
-    : cols_(config.array_cols),
+    : packed_(segments, config.array_cols),
+      cols_(config.array_cols),
       arrays_in_use_(segments.empty()
                          ? 0
                          : (segments.size() + config.array_rows - 1) /
                                config.array_rows),
       charge_(config.process.charge),
-      sl_params_() {
-  packed_.reserve(segments.size());
-  for (const Sequence& segment : segments)
-    packed_.push_back(segment.packed_words());
-}
+      sl_params_() {}
 
 PassResult FunctionalBackend::run_pass(const Sequence& read, MatchMode mode,
                                        std::size_t threshold,
@@ -39,22 +35,24 @@ PassResult FunctionalBackend::run_pass(const Sequence& read, MatchMode mode,
                                        std::uint64_t /*pass_salt*/) const {
   if (read.size() != cols_)
     throw std::invalid_argument("FunctionalBackend: read width mismatch");
-  const std::vector<std::uint64_t> packed_read = read.packed_words();
+  // Read-derived work once per (read, rotation), then one SIMD-dispatched
+  // block sweep over the whole packed segment matrix.
+  const PackedReadView view(read);
+  std::vector<std::uint32_t> counts(packed_.rows());
+  const KernelOps& ops = active_kernel_ops();
+  (mode == MatchMode::Hamming ? ops.hamming_block : ops.ed_star_block)(
+      packed_.data(), packed_.rows(), view, counts.data());
 
   PassResult result;
-  result.decisions.assign(packed_.size(), false);
+  result.decisions.assign(packed_.rows(), false);
   // Every in-use array drives its search lines once per pass, whichever
   // backend evaluates the rows.
   result.energy_joules = static_cast<double>(arrays_in_use_) *
                          sl_params_.energy_per_base *
                          static_cast<double>(cols_);
-  for (std::size_t g = 0; g < packed_.size(); ++g) {
-    const std::size_t count =
-        mode == MatchMode::Hamming
-            ? hamming_packed(packed_[g], packed_read, cols_)
-            : ed_star_packed(packed_[g], packed_read, cols_);
-    result.decisions[g] = count <= threshold;
-    result.energy_joules += nominal_row_energy(count, cols_, charge_);
+  for (std::size_t g = 0; g < packed_.rows(); ++g) {
+    result.decisions[g] = counts[g] <= threshold;
+    result.energy_joules += nominal_row_energy(counts[g], cols_, charge_);
   }
   return result;
 }

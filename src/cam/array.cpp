@@ -4,11 +4,16 @@
 
 #include "align/edstar.h"
 #include "align/hamming.h"
+#include "align/kernels.h"
 
 namespace asmcap {
 
 CamArray::CamArray(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols), segments_(rows), valid_(rows, false) {
+    : rows_(rows),
+      cols_(cols),
+      segments_(rows),
+      packed_(rows),
+      valid_(rows, false) {
   if (rows == 0 || cols == 0)
     throw std::invalid_argument("CamArray: empty dimensions");
 }
@@ -22,6 +27,7 @@ void CamArray::write_row(std::size_t row, const Sequence& segment) {
   if (segment.size() != cols_)
     throw std::invalid_argument("CamArray::write_row: segment width mismatch");
   segments_[row] = segment;
+  packed_[row] = segment.packed_words();
   valid_[row] = true;
 }
 
@@ -76,10 +82,26 @@ std::vector<std::size_t> CamArray::search_counts(const Sequence& read,
 
 std::vector<BitVec> CamArray::search_masks(const Sequence& read,
                                            MatchMode mode) const {
+  if (read.size() != cols_)
+    throw std::invalid_argument("CamArray: read width mismatch");
+  // One pass over the array shares one PackedReadView: the read-derived
+  // neighbour alignments are computed once, not once per row (the same
+  // read-work reuse the functional backends' block kernels rely on).
+  const PackedReadView view(read);
+  std::vector<std::uint64_t> flags(view.words);
   std::vector<BitVec> masks;
   masks.reserve(rows_);
-  for (std::size_t r = 0; r < rows_; ++r)
-    masks.push_back(row_mismatch_mask(r, read, mode));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (!valid_[r]) {
+      masks.emplace_back(cols_, true);
+      continue;
+    }
+    if (mode == MatchMode::EdStar)
+      ed_star_mismatch_words(packed_[r].data(), view, flags.data());
+    else
+      hamming_mismatch_words(packed_[r].data(), view, flags.data());
+    masks.push_back(lane_flags_to_bitvec(flags.data(), view.n));
+  }
   return masks;
 }
 

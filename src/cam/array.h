@@ -5,6 +5,7 @@
 // into a noisy match decision.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "cam/cell.h"
@@ -42,7 +43,9 @@ class CamArray {
   std::vector<std::size_t> search_counts(const Sequence& read,
                                          MatchMode mode) const;
 
-  /// Per-row masks for all valid rows (empty mask for invalid rows).
+  /// Per-row masks for all rows, computed with one shared PackedReadView
+  /// per call (invalid rows get the all-mismatch mask, matching
+  /// row_mismatch_mask).
   std::vector<BitVec> search_masks(const Sequence& read, MatchMode mode) const;
 
  private:
@@ -51,6 +54,9 @@ class CamArray {
   std::size_t rows_;
   std::size_t cols_;
   std::vector<Sequence> segments_;
+  /// 2-bit packed form of each row, refreshed by write_row: search passes
+  /// run the packed kernels without re-packing the resident database.
+  std::vector<std::vector<std::uint64_t>> packed_;
   std::vector<bool> valid_;
 };
 

@@ -1,0 +1,111 @@
+#include "util/bench_json.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace asmcap {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Round-trippable number rendering (integers come out bare: "200").
+std::string number(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void write_pairs(std::ofstream& out,
+                 const std::vector<std::pair<std::string, double>>& pairs) {
+  out << "{";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << "\"" << escape(pairs[i].first) << "\": " << number(pairs[i].second);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string hex_digest(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+void write_bench_json(const std::string& path, const BenchReport& report) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("write_bench_json: cannot open " + path);
+  out << "{\n";
+  out << "  \"schema\": \"asmcap-bench-v1\",\n";
+  out << "  \"bench\": \"" << escape(report.bench) << "\",\n";
+  out << "  \"kernel_tier\": \"" << escape(report.kernel_tier) << "\",\n";
+  out << "  \"hardware_threads\": " << report.hardware_threads << ",\n";
+  out << "  \"workload\": ";
+  write_pairs(out, report.workload);
+  out << ",\n";
+  out << "  \"timings\": [\n";
+  for (std::size_t i = 0; i < report.timings.size(); ++i) {
+    const BenchTiming& timing = report.timings[i];
+    out << "    {\"path\": \"" << escape(timing.path)
+        << "\", \"wall_seconds\": " << number(timing.wall_seconds)
+        << ", \"reads_per_second\": " << number(timing.reads_per_second)
+        << "}" << (i + 1 < report.timings.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"metrics\": ";
+  write_pairs(out, report.metrics);
+  out << ",\n";
+  out << "  \"speedup\": " << number(report.speedup) << ",\n";
+  out << "  \"decision_digest\": \"" << hex_digest(report.decision_digest)
+      << "\",\n";
+  out << "  \"floor_enforced\": " << (report.floor_enforced ? "true" : "false")
+      << "\n";
+  out << "}\n";
+  if (!out.flush())
+    throw std::runtime_error("write_bench_json: write failed for " + path);
+}
+
+std::string take_bench_json_path(std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != "--json") continue;
+    if (i + 1 >= args.size())
+      throw std::invalid_argument("--json requires a path argument");
+    const std::string path = args[i + 1];
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    return path;
+  }
+  return "";
+}
+
+}  // namespace asmcap

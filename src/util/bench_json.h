@@ -1,0 +1,79 @@
+#pragma once
+// Machine-readable benchmark output: one schema ("asmcap-bench-v1"),
+// shared by every bench driver, so tools/check_bench.py can gate any
+// bench's JSON against bench/baseline.json without per-bench parsing.
+//
+// A report records the workload parameters, the timed paths, the headline
+// speedup, the decision digest of the run (the correctness fingerprint the
+// perf gate pins exactly), and the kernel tier the run executed on.
+//
+// Thread-safety: BenchReport/DecisionDigest are plain values with no
+// shared state; write_bench_json only touches the file it is given.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace asmcap {
+
+/// FNV-1a accumulator over decision streams. Every bench hashes decisions
+/// through this one definition so digests are comparable across drivers,
+/// kernel tiers, worker counts, and compilers.
+class DecisionDigest {
+ public:
+  /// Hashes one match decision.
+  void add(bool decision) { add_byte(decision ? 0x9E : 0x3B); }
+
+  /// Hashes a 64-bit value (e.g. a per-read result digest), little-endian.
+  void add_u64(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte)
+      add_byte(static_cast<std::uint8_t>(v >> (8 * byte)));
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  void add_byte(std::uint8_t b) {
+    hash_ ^= b;
+    hash_ *= 0x100000001B3ULL;
+  }
+
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+/// 16-digit lowercase hex rendering of a digest (the JSON form).
+std::string hex_digest(std::uint64_t digest);
+
+/// One timed execution path of a bench.
+struct BenchTiming {
+  std::string path;  ///< Human-readable path name (table row label).
+  double wall_seconds = 0.0;
+  double reads_per_second = 0.0;
+};
+
+/// A bench run, ready to serialise. The ordered key/value vectors keep the
+/// emitted JSON stable for diffing.
+struct BenchReport {
+  std::string bench;        ///< Driver name, e.g. "bench_batch".
+  std::string kernel_tier;  ///< to_string(active_kernel_tier()).
+  std::size_t hardware_threads = 0;
+  std::vector<std::pair<std::string, double>> workload;  ///< Parameters.
+  std::vector<BenchTiming> timings;
+  std::vector<std::pair<std::string, double>> metrics;  ///< Named ratios.
+  double speedup = 0.0;  ///< The bench's headline ratio.
+  std::uint64_t decision_digest = 0;
+  bool floor_enforced = false;  ///< Whether timing floors gated this run.
+};
+
+/// Writes the report as schema "asmcap-bench-v1" JSON. Throws
+/// std::runtime_error when the file cannot be written.
+void write_bench_json(const std::string& path, const BenchReport& report);
+
+/// Removes a `--json <path>` flag pair from `args` (anywhere) and returns
+/// the path, or "" when absent — the drivers' positional parsing then sees
+/// only positionals. Throws std::invalid_argument when --json has no value.
+std::string take_bench_json_path(std::vector<std::string>& args);
+
+}  // namespace asmcap

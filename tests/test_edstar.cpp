@@ -64,23 +64,31 @@ TEST(EdStar, LengthMismatchThrows) {
 }
 
 TEST(EdStar, MaskAgreesWithCount) {
+  // Lengths straddle the packed mask kernel's word and half-word
+  // boundaries (the mask is compressed from 2-bit lanes, 32 per word).
   Rng rng(75);
-  for (int trial = 0; trial < 50; ++trial) {
-    const Sequence a = Sequence::random(64, rng);
-    const Sequence b = Sequence::random(64, rng);
-    EXPECT_EQ(ed_star_mismatch_mask(a, b).popcount(), ed_star(a, b));
+  for (const std::size_t n :
+       {std::size_t{33}, std::size_t{64}, std::size_t{96}, std::size_t{161}}) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const Sequence a = Sequence::random(n, rng);
+      const Sequence b = Sequence::random(n, rng);
+      EXPECT_EQ(ed_star_mismatch_mask(a, b).popcount(), ed_star(a, b))
+          << "n=" << n;
+    }
   }
 }
 
 TEST(EdStar, WithinMatchesCount) {
   Rng rng(77);
-  for (int trial = 0; trial < 50; ++trial) {
-    const Sequence a = Sequence::random(64, rng);
-    const Sequence b = Sequence::random(64, rng);
-    const std::size_t d = ed_star(a, b);
-    EXPECT_TRUE(ed_star_within(a, b, d));
-    if (d > 0) {
-      EXPECT_FALSE(ed_star_within(a, b, d - 1));
+  for (const std::size_t n : {std::size_t{64}, std::size_t{100}}) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const Sequence a = Sequence::random(n, rng);
+      const Sequence b = Sequence::random(n, rng);
+      const std::size_t d = ed_star(a, b);
+      EXPECT_TRUE(ed_star_within(a, b, d));
+      if (d > 0) {
+        EXPECT_FALSE(ed_star_within(a, b, d - 1));
+      }
     }
   }
 }

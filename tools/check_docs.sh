@@ -37,6 +37,7 @@ src/asmcap/readmapper.h
 src/asmcap/backend.h
 src/asmcap/edam.h
 src/asmcap/service.h
+src/align/kernels.h
 src/util/thread_pool.h
 "
 for h in $headers; do
