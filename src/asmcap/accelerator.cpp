@@ -45,6 +45,8 @@ void AsmcapAccelerator::load_reference(const std::vector<Sequence>& segments) {
       units_, mapper_, segments_loaded_, config_.array_rows,
       config_.segment_base);
   functional_backend_ = std::make_unique<FunctionalBackend>(segments, config_);
+  if (config_.pruning.enabled)
+    sketch_ = std::make_unique<BankSketch>(segments, config_.array_cols);
 
   // One-time load cost: every row write burns decoder+WL+SRAM energy; the
   // arrays write their rows in parallel, so the latency is set by the

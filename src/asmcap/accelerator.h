@@ -33,6 +33,7 @@
 #include "asmcap/controller.h"
 #include "asmcap/mapper.h"
 #include "asmcap/planner.h"
+#include "asmcap/sketch.h"
 #include "circuit/timing.h"
 #include "genome/edits.h"
 #include "genome/sequence.h"
@@ -119,6 +120,9 @@ class AsmcapAccelerator {
   Controller& controller() { return controller_; }
   const QueryPlanner& planner() const { return controller_.planner(); }
   const TimingModel& timing() const { return timing_; }
+  /// The bank's pruning sketch, built at load_reference time when
+  /// config().pruning.enabled; nullptr otherwise. Immutable once built.
+  const BankSketch* sketch() const { return sketch_.get(); }
 
  private:
   void check_read(const Sequence& read) const;
@@ -131,6 +135,7 @@ class AsmcapAccelerator {
   std::vector<AsmcapArrayUnit> units_;  ///< Only arrays_in_use() are active.
   std::unique_ptr<CircuitBackend> circuit_backend_;
   std::unique_ptr<FunctionalBackend> functional_backend_;
+  std::unique_ptr<BankSketch> sketch_;
   BackendKind backend_kind_ = BackendKind::Circuit;
   std::size_t segments_loaded_ = 0;
   double load_energy_ = 0.0;

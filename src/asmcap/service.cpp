@@ -51,9 +51,13 @@ void SearchTicket::wait() {
   // batch from the ledger. Reads that themselves failed are skipped.
   if (!recorded_) {
     for (const Slot& slot : slots_)
-      if (!slot.failed.load(std::memory_order_acquire))
+      if (!slot.failed.load(std::memory_order_acquire)) {
         accel_->controller_.record(slot.ledger_plan, slot.ledger_latency,
                                    slot.ledger_energy);
+        if (slot.banks_probed + slot.banks_pruned != 0)
+          accel_->controller_.record_pruning(slot.banks_probed,
+                                             slot.banks_pruned);
+      }
     recorded_ = true;
   }
   std::exception_ptr error;
@@ -118,22 +122,38 @@ void SearchTicket::admit_next() {
 
 void SearchTicket::run_read(std::size_t i) {
   Slot& slot = slots_[i];
-  const std::size_t shards = accel_->active_shards_;
+  std::size_t selected = 0;
   try {
     // Same deterministic recipe as the synchronous batch: one plan per
     // read, one RNG stream forked from (master state, epoch, read index).
+    // The probe happens AFTER the fork, so pruning never shifts streams.
     slot.plan = accel_->controller_.planner().build(
         (*reads_)[i], threshold_, accel_->rates_, mode_);
     slot.rng = master_.fork((epoch_ << 32) | static_cast<std::uint64_t>(i));
-    if (shards == 1) {
+    slot.shard_ids = accel_->probe_shards(slot.plan);
+    selected = slot.shard_ids.size();
+    if (accel_->config_.pruning.enabled) {
+      slot.banks_probed = selected;
+      slot.banks_pruned = accel_->active_shards_ - selected;
+    }
+    if (selected == 0) {
+      // Every bank pruned: nothing executes, but the read still merges to
+      // its deterministic all-false shape with the plan's pass latency.
+      slot.merged = accel_->empty_result(slot.plan);
+      complete_read(i);
+      return;
+    }
+    if (selected == 1 && accel_->active_shards_ == 1) {
       // Single-bank router: the bank's result is already global (base 0,
       // full-width decision bitmap) — no partial staging, no rebase/merge.
+      // (A read pruned down to ONE bank of many still stages: its bank's
+      // bitmap is local and must be re-based through merge_subset.)
       slot.merged = accel_->banks_[0]->execute(slot.plan, slot.rng);
       complete_read(i);
       return;
     }
-    slot.partials.resize(shards);
-    slot.shards_left.store(shards, std::memory_order_relaxed);
+    slot.partials.resize(selected);
+    slot.shards_left.store(selected, std::memory_order_relaxed);
   } catch (...) {
     record_error(std::current_exception());
     slot.failed.store(true, std::memory_order_release);
@@ -142,45 +162,50 @@ void SearchTicket::run_read(std::size_t i) {
   }
   std::size_t launched = 0;
   try {
-    for (std::size_t s = 1; s < shards; ++s) {
+    for (std::size_t j = 1; j < selected; ++j) {
       auto self = shared_from_this();
-      pool_->submit([self, i, s] { self->run_shard(i, s); });
+      pool_->submit([self, i, j] { self->run_shard(i, j); });
       ++launched;
     }
   } catch (...) {
     // A task that never launched will never decrement shards_left: take
-    // its decrements here. Shard 0 below is still outstanding, so this
+    // its decrements here. Slot 0 below is still outstanding, so this
     // cannot complete the read — no double-completion is possible.
     record_error(std::current_exception());
     slot.failed.store(true, std::memory_order_release);
-    slot.shards_left.fetch_sub(shards - 1 - launched,
+    slot.shards_left.fetch_sub(selected - 1 - launched,
                                std::memory_order_acq_rel);
   }
-  run_shard(i, 0);  // this task doubles as the shard-0 executor
+  run_shard(i, 0);  // this task doubles as the first shard's executor
 }
 
 void SearchTicket::run_shard(std::size_t i, std::size_t s) {
+  // `s` indexes the slot's dispatched-shard list, not the bank array: the
+  // read runs only on its probe survivors.
   Slot& slot = slots_[i];
   try {
-    slot.partials[s] = accel_->banks_[s]->execute(slot.plan, slot.rng);
+    slot.partials[s] =
+        accel_->banks_[slot.shard_ids[s]]->execute(slot.plan, slot.rng);
   } catch (...) {
     record_error(std::current_exception());
     slot.failed.store(true, std::memory_order_release);
   }
   if (slot.shards_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Last shard of this read: merge in shard order (identical floating-
-    // point summation order to the synchronous path, however the shards
-    // actually finished) and release the staging buffer immediately. A
-    // merge failure (allocation) is recorded like an execute failure so
-    // it surfaces at wait() instead of escaping the pool task.
+    // Last shard of this read: merge in ascending shard order (identical
+    // floating-point summation order to the synchronous path, however the
+    // shards actually finished) and release the staging buffers
+    // immediately. A merge failure (allocation) is recorded like an
+    // execute failure so it surfaces at wait() instead of escaping the
+    // pool task.
     try {
       if (!slot.failed.load(std::memory_order_acquire))
-        slot.merged = accel_->merge(slot.partials, 0);
+        slot.merged = accel_->merge_subset(slot.partials, slot.shard_ids);
     } catch (...) {
       record_error(std::current_exception());
       slot.failed.store(true, std::memory_order_release);
     }
     std::vector<QueryResult>().swap(slot.partials);
+    std::vector<std::uint32_t>().swap(slot.shard_ids);
     complete_read(i);
   }
 }

@@ -22,6 +22,13 @@
 // already global). Admission is throttled, so an arbitrarily large
 // submission never materialises more than max_in_flight staging buffers.
 //
+// With shard pruning enabled (config.pruning.enabled), each read's
+// fan-out covers only its probe-survivor shard set (ShardedAccelerator::
+// probe_shards): staging buffers shrink to the survivors, a read every
+// bank pruned completes instantly with the all-false merged shape, and
+// the per-read probe counters are flushed to the ledger at wait().
+// Decisions stay bit-identical to full fan-out — see asmcap/sketch.h.
+//
 // Three consumption styles (combinable per submission, with one rule:
 // cross-thread pollers must stop using result() references before the
 // control thread calls drain(), which moves the results out):
@@ -128,12 +135,18 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
  private:
   friend class SearchService;
 
-  /// Per-read state. `partials` exists only between admission and merge
-  /// (and never exists when the router has a single active shard).
+  /// Per-read state. `partials`/`shard_ids` exist only between admission
+  /// and merge (and never exist when the router has a single active
+  /// shard). With pruning enabled, shard_ids is this read's probe
+  /// survivor set — the only banks dispatched — and the probe counters
+  /// feed the ledger at wait().
   struct Slot {
     ExecutionPlan plan;
     Rng rng;
-    std::vector<QueryResult> partials;
+    std::vector<std::uint32_t> shard_ids;  ///< Dispatched shards, ascending.
+    std::vector<QueryResult> partials;     ///< partials[j] <- shard_ids[j].
+    std::size_t banks_probed = 0;  ///< Pruning-enabled submissions only.
+    std::size_t banks_pruned = 0;
     std::atomic<std::size_t> shards_left{0};
     QueryResult merged;
     QueryPlan ledger_plan;  ///< Kept for wait() after merged is released.

@@ -93,25 +93,58 @@ void ShardedAccelerator::check_shard(std::size_t s) const {
     throw std::out_of_range("ShardedAccelerator: shard index out of range");
 }
 
-QueryResult ShardedAccelerator::merge(const std::vector<QueryResult>& partials,
-                                      std::size_t first) const {
+std::vector<std::uint32_t> ShardedAccelerator::probe_shards(
+    const ExecutionPlan& plan) const {
+  std::vector<std::uint32_t> selected;
+  selected.reserve(active_shards_);
+  const std::size_t windows =
+      config_.pruning.enabled
+          ? pruning_window_count(config_, backend_kind_, plan.threshold)
+          : 0;
+  for (std::uint32_t s = 0; s < active_shards_; ++s) {
+    // windows == 0 means a sound prune is impossible for this query (or
+    // pruning is off): dispatch everything. A bank without a sketch is
+    // never skipped either.
+    const BankSketch* sketch = windows == 0 ? nullptr : banks_[s]->sketch();
+    if (sketch == nullptr || sketch->may_match(plan, windows))
+      selected.push_back(s);
+  }
+  return selected;
+}
+
+QueryResult ShardedAccelerator::merge_subset(
+    const std::vector<QueryResult>& partials,
+    const std::vector<std::uint32_t>& shard_ids) const {
   QueryResult merged;
-  merged.plan = partials[first].plan;
+  merged.plan = partials.front().plan;
   merged.decisions.assign(segments_loaded_, false);
-  for (std::size_t s = 0; s < active_shards_; ++s) {
-    const QueryResult& part = partials[first + s];
-    const std::size_t base = bases_[s];
+  for (std::size_t j = 0; j < shard_ids.size(); ++j) {
+    const QueryResult& part = partials[j];
+    const std::size_t base = bases_[shard_ids[j]];
     for (std::size_t g = 0; g < part.decisions.size(); ++g)
       merged.decisions[base + g] = part.decisions[g];
     for (const std::size_t local : part.matched_segments)
       merged.matched_segments.push_back(base + local);
     // Banks search in parallel: a pass completes when the slowest bank
-    // does; energy is spent in every bank.
+    // does; energy is spent in every dispatched bank (ascending shard
+    // order keeps the floating-point summation deterministic).
     merged.latency_seconds =
         std::max(merged.latency_seconds, part.latency_seconds);
     merged.energy_joules += part.energy_joules;
   }
   return merged;
+}
+
+QueryResult ShardedAccelerator::empty_result(const ExecutionPlan& plan) const {
+  QueryResult result;
+  result.plan = plan.summary;
+  result.decisions.assign(segments_loaded_, false);
+  // Pass latency is a pure function of the plan's operation count (see
+  // TimingModel), so an all-pruned read reports the same latency a full
+  // fan-out would — the bit-identity contract covers latency too.
+  result.latency_seconds = banks_.front()->timing().asmcap_query_latency(
+      plan.summary.total_searches());
+  return result;
 }
 
 QueryResult ShardedAccelerator::search(const Sequence& read,
@@ -123,19 +156,33 @@ QueryResult ShardedAccelerator::search(const Sequence& read,
     throw std::invalid_argument("ShardedAccelerator: read width mismatch");
 
   // Identical stream evolution to AsmcapAccelerator::search — the N == 1
-  // bit-identity anchor. Every bank executes the same plan against the
-  // same query stream; global-id RNG keying keeps their draws disjoint.
+  // bit-identity anchor. The master stream advances BEFORE the sketch
+  // probe, and by the same one step whether or not banks get pruned, so
+  // pruning never shifts later queries' streams. Every dispatched bank
+  // executes the same plan against the same query stream; global-id RNG
+  // keying keeps their draws disjoint, and a pruned bank would have drawn
+  // nothing that surviving banks see (streams are pure forks per global
+  // segment id) — decisions stay bit-identical to full fan-out.
   const ExecutionPlan plan =
       controller_.planner().build(read, threshold, rates_, mode);
   const Rng query_rng = rng_.fork(rng_.next());
 
-  std::vector<QueryResult> partials(active_shards_);
-  worker_pool(workers).parallel_for(active_shards_, [&](std::size_t s) {
-    partials[s] = banks_[s]->execute(plan, query_rng);
-  });
-  QueryResult result = merge(partials, 0);
+  const std::vector<std::uint32_t> selected = probe_shards(plan);
+  QueryResult result;
+  if (selected.empty()) {
+    result = empty_result(plan);
+  } else {
+    std::vector<QueryResult> partials(selected.size());
+    worker_pool(workers).parallel_for(selected.size(), [&](std::size_t j) {
+      partials[j] = banks_[selected[j]]->execute(plan, query_rng);
+    });
+    result = merge_subset(partials, selected);
+  }
   controller_.record(result.plan, result.latency_seconds,
                      result.energy_joules);
+  if (config_.pruning.enabled)
+    controller_.record_pruning(selected.size(),
+                               active_shards_ - selected.size());
   return result;
 }
 

@@ -19,6 +19,17 @@
 // in parallel), energy is the sum, and the router's ledger records the
 // merged totals.
 //
+// Shard pruning (config.pruning.enabled): before fanning out, the router
+// probes each bank's BankSketch (asmcap/sketch.h) against the query plan
+// and dispatches only the banks that may contain a match — a pruned bank
+// spawns no task, burns no SL-driver energy, and (because per-decision RNG
+// streams are keyed by global segment id and are pure forks, never
+// sequential draws) contributes no RNG draws, so the surviving banks'
+// decisions are bit-identical to full fan-out. Latency is likewise
+// unchanged (a bank's pass latency is a pure function of the plan);
+// energy honestly drops to the probed banks' sum, summed in ascending
+// shard order. The ledger gains banks_probed/banks_pruned counts.
+//
 // Ownership: the router owns its banks, controller, and session pool (the
 // pool is shared with SearchService tickets and ReadMapper verification).
 // Thread-safety: like the single-bank accelerator, the mutating entry
@@ -159,10 +170,20 @@ class ShardedAccelerator {
 
   void check_loaded() const;
   void check_shard(std::size_t s) const;
-  /// Merges per-shard partials (shard-major for one read) into one global
-  /// result: decisions scattered by shard base, latency = max, energy = sum.
-  QueryResult merge(const std::vector<QueryResult>& partials,
-                    std::size_t first) const;
+  /// Shards to dispatch for `plan`, ascending. All active shards when
+  /// pruning is disabled or cannot be sound (pruning_window_count == 0);
+  /// otherwise the shards whose sketches report may_match.
+  std::vector<std::uint32_t> probe_shards(const ExecutionPlan& plan) const;
+  /// Merges the partial results of the dispatched shards (partials[j] is
+  /// shard shard_ids[j]'s result) into one global result: decisions
+  /// scattered by shard base, latency = max, energy = sum in ascending
+  /// shard order. `partials` must be non-empty.
+  QueryResult merge_subset(const std::vector<QueryResult>& partials,
+                           const std::vector<std::uint32_t>& shard_ids) const;
+  /// The merged result of a read every bank pruned: all-false decisions,
+  /// zero energy, and the same analytic pass latency any bank would
+  /// report for this plan (latency is plan-determined, not data-determined).
+  QueryResult empty_result(const ExecutionPlan& plan) const;
 
   AsmcapConfig config_;
   std::size_t shard_count_;

@@ -1,0 +1,114 @@
+#include "asmcap/sketch.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "asmcap/backend.h"
+
+namespace asmcap {
+
+BankSketch::BankSketch(const std::vector<Sequence>& segments,
+                       std::size_t cols)
+    : rows_(segments.size()),
+      cols_(cols),
+      words_((segments.size() + 63) / 64),
+      occ_(cols * 4 * words_, 0) {
+  if (cols_ == 0) throw std::invalid_argument("BankSketch: zero columns");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const Sequence& row = segments[r];
+    if (row.size() != cols_)
+      throw std::invalid_argument("BankSketch: segment width mismatch");
+    for (std::size_t i = 0; i < cols_; ++i) {
+      std::uint64_t* bits =
+          occ_.data() + (i * 4 + code_of(row[i])) * words_;
+      bits[r >> 6] |= std::uint64_t{1} << (r & 63);
+    }
+  }
+}
+
+bool BankSketch::window_alive(const Sequence& read, std::size_t lo,
+                              std::size_t hi,
+                              std::vector<std::uint64_t>& alive) const {
+  // Start with every stored row alive (tail bits beyond rows_ cleared so
+  // phantom rows can never keep a window alive).
+  alive.assign(words_, ~std::uint64_t{0});
+  if (rows_ % 64 != 0)
+    alive.back() = (std::uint64_t{1} << (rows_ % 64)) - 1;
+  std::uint64_t any = 0;
+  for (const std::uint64_t word : alive) any |= word;
+  for (std::size_t i = lo; i < hi && any != 0; ++i) {
+    // Cell i matches row r iff the row stores one of the read bases the
+    // cell sees (Fig. 4c): R[i-1], R[i], R[i+1] — boundary cells see only
+    // the neighbours that exist.
+    const std::uint8_t centre = code_of(read[i]);
+    const std::uint8_t left = i > 0 ? code_of(read[i - 1]) : centre;
+    const std::uint8_t right = i + 1 < cols_ ? code_of(read[i + 1]) : centre;
+    const std::uint64_t* c = occ(i, centre);
+    const std::uint64_t* l = occ(i, left);
+    const std::uint64_t* r = occ(i, right);
+    any = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      alive[w] &= c[w] | l[w] | r[w];
+      any |= alive[w];
+    }
+  }
+  return any != 0;
+}
+
+bool BankSketch::may_match(const ExecutionPlan& plan,
+                           std::size_t windows) const {
+  if (windows == 0 || rows_ == 0) return windows == 0;
+  const std::size_t width = cols_ / windows;
+  if (width == 0) return true;  // cannot form disjoint windows: no prune
+  std::vector<std::uint64_t> alive(words_);
+  // A bank must be searched if ANY pass (the original read, or any TASR
+  // rotation) has ANY window in which some row accumulates zero ED*
+  // mismatches. The HD pass probes the same read as ED* pass 0 and its
+  // mismatch count dominates the ED* count, so it needs no extra windows.
+  for (const Sequence& pass : plan.ed_star_passes) {
+    if (pass.size() != cols_) return true;  // conservative: never prune
+    for (std::size_t t = 0; t < windows; ++t)
+      if (window_alive(pass, t * width, t * width + width, alive))
+        return true;
+  }
+  return false;
+}
+
+std::size_t pruning_window_count(const AsmcapConfig& config,
+                                 BackendKind backend,
+                                 std::size_t threshold) {
+  const std::size_t m = config.array_cols;
+  std::size_t windows = threshold + 1;  // ideal decision: count <= T
+  if (backend == BackendKind::Circuit && !config.ideal_sensing) {
+    // Noisy sensing can flip a count slightly above T back to 'match':
+    // the SA decides (V_ML + offset + noise) <= V_ref with
+    // V_ref = (T + 0.5)/m * VDD. Every noise source is hard-bounded:
+    //  * Rng::normal() is Box-Muller over uniforms >= 2^-53, so a deviate
+    //    never exceeds D = sqrt(-2 ln 2^-53) ~ 8.57 sigma;
+    //  * manufactured capacitors are clamped at +/-4 sigma, so a row with
+    //    c mismatches settles V_ML >= (c/m) * VDD * rho with
+    //    rho = (1 - 4*sigma_rel) / (1 + 4*sigma_rel).
+    // A count c is therefore GUARANTEED to decide 'no match' whenever
+    //   (c/m)*VDD*rho - D*(sigma_off + sigma_noise) > (T + 0.5)/m * VDD,
+    // i.e. c > [(T + 0.5) + D*(sigma_off + sigma_noise)*m/VDD] / rho.
+    // K = the smallest such integer; rows below K stay prunable by the
+    // K-window pigeonhole, rows at or above K can never flip.
+    const ChargeDomainParams& charge = config.process.charge;
+    const double rho = (1.0 - 4.0 * charge.cap_sigma_rel) /
+                       (1.0 + 4.0 * charge.cap_sigma_rel);
+    if (rho <= 0.0 || charge.vdd <= 0.0) return 0;
+    const double deviate_bound = std::sqrt(-2.0 * std::log(0x1.0p-53));
+    const double margin_counts =
+        deviate_bound * (charge.sa_offset_sigma + charge.sa_noise_sigma) *
+        static_cast<double>(m) / charge.vdd;
+    const double guaranteed_miss =
+        (static_cast<double>(threshold) + 0.5 + margin_counts) / rho;
+    const double k = std::floor(guaranteed_miss) + 1.0;
+    if (!(k > 0.0) || k > static_cast<double>(m)) return 0;
+    windows = std::max(windows, static_cast<std::size_t>(k));
+  }
+  if (m / windows == 0) return 0;  // window width would be zero
+  return windows;
+}
+
+}  // namespace asmcap

@@ -27,11 +27,15 @@ struct CmCpuConfig {
   double word_ops_per_second = 1.0e9;
   std::size_t threads = 18;  ///< i9-10980XE core count.
   double cpu_power_watts = 165.0;  ///< socket TDP under full load.
-  /// Fraction of the stored rows the CPU actually verifies per read. Any
-  /// practical CM implementation bins reads first (minimizer hashing) and
-  /// verifies ~1 % of the database; the paper's i9 throughput is consistent
-  /// with this (a full 64 Mb scan would be ~100x slower than its implied
-  /// per-read latency). Set to 1.0 for a brute-force full scan.
+  /// Fraction of the stored rows the CPU actually verifies per read — a
+  /// calibrated modelling knob, NOT a mechanism this baseline implements
+  /// (decide_rows verifies every row; only the cost model applies the
+  /// fraction). The default 1 % is what makes the modelled throughput
+  /// consistent with the paper's i9 numbers: a full 64 Mb scan would be
+  /// ~100x slower than the implied per-read latency, so the reference CM
+  /// pipeline evidently prefilters candidates somehow (seeding, binning,
+  /// an index — the paper does not say). Set to 1.0 to model a
+  /// brute-force full scan.
   double candidate_fraction = 0.01;
 };
 

@@ -14,7 +14,11 @@
 namespace asmcap {
 
 struct KrakenLikeConfig {
-  std::size_t k = 31;  ///< Kraken2's default minimizer/k-mer length scale.
+  /// K-mer length (Kraken2's default k = 31). This classifier indexes
+  /// EVERY k-mer of every row — it does not subsample with minimizers the
+  /// way real Kraken2 does (that is a memory optimisation, not an
+  /// accuracy mechanism, so the comparison is unaffected).
+  std::size_t k = 31;
   /// Fraction of the read's k-mers that must hit a row for a match call
   /// (Kraken2's confidence-score analogue). Exact matching needs a healthy
   /// share of intact k-mers, which injected edits destroy quickly — the

@@ -14,7 +14,12 @@ committed bench/baseline.json:
     (relative: speedup >= expected * (1 - tolerance)) — a timing floor
     that is SKIPPED when the reporting machine has fewer hardware
     threads than the baseline requires, mirroring the benches' own
-    scarce-hardware carve-outs.
+    scarce-hardware carve-outs;
+  * any metric bounds the baseline entry declares (its "metrics" object,
+    name -> {"min": x, "max": y}) are enforced against the report's
+    metrics — a bounded metric MISSING from the report is a failure
+    (e.g. the pruned arm's prune_rate / pruned_digest_matches), while
+    report metrics without baseline bounds pass through ungated.
 
 Usage:
   tools/check_bench.py --baseline bench/baseline.json report.json [...]
@@ -69,6 +74,25 @@ def check_report(report_path, baseline):
     else:
         print(f"OK: {bench}: digest {entry['decision_digest']} matches "
               f"(kernel_tier={tier})")
+
+    # Metric bounds are structural gates (ratios of deterministic counts),
+    # not timing: no hardware carve-out applies.
+    metrics = report.get("metrics", {})
+    for name, bounds in entry.get("metrics", {}).items():
+        value = metrics.get(name)
+        if value is None:
+            errors += fail(f"{report_path}: metric {name!r} bounded by the "
+                           f"baseline but missing from the report")
+            continue
+        low = bounds.get("min")
+        high = bounds.get("max")
+        if (low is not None and value < low) or \
+           (high is not None and value > high):
+            errors += fail(f"{report_path}: metric {name} = {value:.4f} "
+                           f"outside baseline bounds [{low}, {high}]")
+        else:
+            print(f"OK: {bench}: metric {name} = {value:.4f} within "
+                  f"[{low}, {high}]")
 
     gate = entry.get("speedup")
     if gate:
