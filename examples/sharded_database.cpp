@@ -13,9 +13,9 @@
 //   ./sharded_database [reads_per_organism] [shards] [workers]
 
 #include <cstdio>
-#include <stdexcept>
 #include <vector>
 
+#include "asmcap/db_error.h"
 #include "asmcap/sharded.h"
 #include "eval/experiment.h"
 #include "genome/readsim.h"
@@ -67,8 +67,9 @@ int main(int argc, char** argv) {
     AsmcapAccelerator mono(bank);
     mono.load_reference(rows);
     std::printf("unexpectedly fit!\n");
-  } catch (const std::length_error&) {
-    std::printf("monolithic load rejected (std::length_error), as expected\n");
+  } catch (const DbError& error) {
+    std::printf("monolithic load rejected (%s), as expected\n",
+                to_string(error.kind()));
   }
 
   ShardedAccelerator accel(bank, shards);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "cam/periphery.h"
 
@@ -13,63 +14,251 @@ namespace {
 // out of reach of any realistic rotation-schedule length.
 constexpr std::uint64_t kHdPassSalt = 0x4844'0000ULL;
 constexpr std::uint64_t kHdacSelectSalt = 0x5E1E'C700ULL;
+// Salt of the construction-time array silicon streams (silicon_root_ fork
+// per array index). Kept far above any global segment id so the per-row
+// streams (forked per id) and the per-array streams never collide. The
+// construction-time draw is decision-irrelevant — every written row is
+// re-manufactured from its per-id stream, and unwritten rows never decide
+// — it only has to be deterministic per array so clone() and lazy growth
+// manufacture identical silicon in any order.
+constexpr std::uint64_t kUnitSalt = 0x517E'C0DE'0000'0000ULL;
 }  // namespace
 
 AsmcapAccelerator::AsmcapAccelerator(AsmcapConfig config)
     : config_(config),
-      mapper_(config.array_count, config.array_rows),
       controller_(config),
       timing_(config.process),
+      silicon_root_(
+          Rng(config.silicon_seed != 0 ? config.silicon_seed : config.seed)
+              .fork(0x51C0)),
+      next_auto_id_(static_cast<std::uint64_t>(config.segment_base)),
       rng_(config.seed) {
   validate(config_.process);
+  circuit_backend_ =
+      std::make_unique<CircuitBackend>(units_, dir_, config_.array_rows);
+  functional_backend_ = std::make_unique<FunctionalBackend>(config_, dir_);
+  if (config_.pruning.enabled)
+    sketch_ = std::make_unique<BankSketch>(config_.array_cols);
+}
+
+void AsmcapAccelerator::ensure_units(std::size_t arrays) {
+  if (arrays > config_.array_count)
+    throw DbError(DbErrorKind::CapacityExceeded,
+                  "AsmcapAccelerator: array count exceeded");
+  while (units_.size() < arrays) {
+    Rng unit_rng = silicon_root_.fork(
+        kUnitSalt + static_cast<std::uint64_t>(units_.size()));
+    units_.emplace_back(config_.array_rows, config_.array_cols,
+                        config_.process.charge, config_.ideal_sensing,
+                        unit_rng);
+  }
+}
+
+void AsmcapAccelerator::write_slot(std::size_t slot, std::uint64_t id,
+                                   const Sequence& segment) {
+  const std::size_t a = slot / config_.array_rows;
+  const std::size_t r = slot % config_.array_rows;
+  ensure_units(a + 1);
+  if (slot < dir_.slots() && !dir_.live[slot]) {
+    // Recycling a tombstoned slot: the previous occupant's id is forgotten
+    // for good (its state becomes Unknown — ids are never resurrected).
+    id_to_slot_.erase(dir_.ids[slot]);
+  }
+  if (slot >= dir_.slots()) {
+    dir_.ids.resize(slot + 1, 0);
+    dir_.live.resize(slot + 1, false);
+  }
+  if (a >= dir_.array_live.size()) dir_.array_live.resize(a + 1, 0);
+  // The row's analog silicon is a pure function of its global id: the
+  // segment decides identically in whichever slot, array, or bank it
+  // lands (docs/determinism.md rule 8).
+  Rng silicon = silicon_root_.fork(id);
+  units_[a].write_row(r, segment, silicon);
+  functional_backend_->write_slot(slot, segment);
+  if (sketch_) sketch_->set_row(slot, segment);
+  dir_.ids[slot] = id;
+  dir_.live[slot] = true;
+  ++dir_.array_live[a];
+  ++dir_.live_count;
+  id_to_slot_[id] = slot;
+  if (id != static_cast<std::uint64_t>(config_.segment_base) + slot)
+    identity_layout_ = false;
+  if (id + 1 > next_auto_id_) next_auto_id_ = id + 1;
+}
+
+void AsmcapAccelerator::book_write_cost(std::size_t count,
+                                        std::size_t burst_rows) {
+  // Every row write burns decoder+WL+SRAM energy; arrays write their rows
+  // in parallel, so the burst latency is set by the fullest touched array.
+  const WriteCostParams write_cost;
+  load_energy_ += static_cast<double>(count) *
+                  row_write_energy(config_.array_cols, write_cost);
+  load_latency_ +=
+      static_cast<double>(burst_rows) * write_cost.latency_per_row;
 }
 
 void AsmcapAccelerator::load_reference(const std::vector<Sequence>& segments) {
-  if (segments_loaded_ != 0)
-    throw std::logic_error("AsmcapAccelerator: reference already loaded");
-  const auto locations = mapper_.map_segments(segments.size());
-  // Manufacture only the arrays the reference actually needs; capacitor
-  // mismatch is drawn from a deterministic silicon stream.
-  Rng manufacture = rng_.fork(0x51C0);
-  const std::size_t needed = mapper_.arrays_in_use();
-  units_.reserve(needed);
-  for (std::size_t a = 0; a < needed; ++a)
-    units_.emplace_back(config_.array_rows, config_.array_cols,
-                        config_.process.charge, config_.ideal_sensing,
-                        manufacture);
-  for (std::size_t i = 0; i < segments.size(); ++i)
-    units_[locations[i].array].write_row(locations[i].row, segments[i]);
-  segments_loaded_ = segments.size();
+  if (dir_.slots() != 0)
+    throw DbError(DbErrorKind::AlreadyLoaded,
+                  "AsmcapAccelerator: reference already loaded");
+  append_segments(segments);
+}
 
-  circuit_backend_ = std::make_unique<CircuitBackend>(
-      units_, mapper_, segments_loaded_, config_.array_rows,
-      config_.segment_base);
-  functional_backend_ = std::make_unique<FunctionalBackend>(segments, config_);
-  if (config_.pruning.enabled)
-    sketch_ = std::make_unique<BankSketch>(segments, config_.array_cols);
+std::vector<std::uint64_t> AsmcapAccelerator::append_segments(
+    const std::vector<Sequence>& segments) {
+  std::vector<std::uint64_t> ids(segments.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    ids[i] = next_auto_id_ + static_cast<std::uint64_t>(i);
+  append_segments(segments, ids);
+  return ids;
+}
 
-  // One-time load cost: every row write burns decoder+WL+SRAM energy; the
-  // arrays write their rows in parallel, so the latency is set by the
-  // fullest array.
-  const WriteCostParams write_cost;
-  load_energy_ = static_cast<double>(segments.size()) *
-                 row_write_energy(config_.array_cols, write_cost);
-  const std::size_t rows_in_fullest =
-      std::min<std::size_t>(segments.size(), config_.array_rows);
-  load_latency_ =
-      static_cast<double>(rows_in_fullest) * write_cost.latency_per_row;
+void AsmcapAccelerator::append_segments(
+    const std::vector<Sequence>& segments,
+    const std::vector<std::uint64_t>& ids) {
+  if (segments.size() != ids.size())
+    throw std::invalid_argument(
+        "AsmcapAccelerator: append ids/segments size mismatch");
+  if (segments.empty()) return;
+  // Validate everything before touching any state (strong exception
+  // safety, see db_error.h).
+  for (const Sequence& segment : segments)
+    if (segment.size() != config_.array_cols)
+      throw std::invalid_argument(
+          "AsmcapAccelerator: segment width mismatch");
+  std::unordered_set<std::uint64_t> fresh;
+  fresh.reserve(ids.size());
+  for (const std::uint64_t id : ids) {
+    if (id < static_cast<std::uint64_t>(config_.segment_base))
+      throw std::invalid_argument(
+          "AsmcapAccelerator: segment id below segment_base");
+    if (id_to_slot_.count(id) != 0 || !fresh.insert(id).second)
+      throw DbError(DbErrorKind::DuplicateId,
+                    "AsmcapAccelerator: segment id already known");
+  }
+  if (dir_.live_count + segments.size() > config_.capacity_segments())
+    throw DbError(DbErrorKind::CapacityExceeded,
+                  "AsmcapAccelerator: reference exceeds capacity");
+
+  // Target slots: recycled tombstones first (lowest slot first), then
+  // fresh rows. The capacity check above guarantees enough of both.
+  std::vector<std::size_t> targets;
+  targets.reserve(segments.size());
+  for (std::size_t slot = 0;
+       slot < dir_.slots() && targets.size() < segments.size(); ++slot)
+    if (!dir_.live[slot]) targets.push_back(slot);
+  for (std::size_t next = dir_.slots(); targets.size() < segments.size();
+       ++next)
+    targets.push_back(next);
+
+  std::vector<std::size_t> burst_per_array;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    write_slot(targets[i], ids[i], segments[i]);
+    const std::size_t a = targets[i] / config_.array_rows;
+    if (a >= burst_per_array.size()) burst_per_array.resize(a + 1, 0);
+    ++burst_per_array[a];
+  }
+  book_write_cost(segments.size(),
+                  *std::max_element(burst_per_array.begin(),
+                                    burst_per_array.end()));
+}
+
+void AsmcapAccelerator::remove_segments(
+    const std::vector<std::uint64_t>& ids) {
+  if (ids.empty())
+    throw DbError(DbErrorKind::EmptyMutation,
+                  "AsmcapAccelerator: remove_segments with no ids");
+  // Validate everything before touching any state.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(ids.size());
+  for (const std::uint64_t id : ids) {
+    const auto it = id_to_slot_.find(id);
+    if (it == id_to_slot_.end())
+      throw DbError(DbErrorKind::UnknownSegment,
+                    "AsmcapAccelerator: unknown segment id");
+    if (!dir_.live[it->second] || !seen.insert(id).second)
+      throw DbError(DbErrorKind::DoubleDelete,
+                    "AsmcapAccelerator: segment already deleted");
+  }
+  std::vector<std::size_t> burst_per_array;
+  for (const std::uint64_t id : ids) {
+    const std::size_t slot = id_to_slot_.at(id);
+    const std::size_t a = slot / config_.array_rows;
+    const std::size_t r = slot % config_.array_rows;
+    units_[a].invalidate_row(r);  // all-mismatch mask: zero search energy
+    if (sketch_) sketch_->clear_row(slot);
+    dir_.live[slot] = false;
+    --dir_.array_live[a];
+    --dir_.live_count;
+    if (a >= burst_per_array.size()) burst_per_array.resize(a + 1, 0);
+    ++burst_per_array[a];
+  }
+  // Tombstoning writes the row's all-mismatch mask: same decoder+WL+SRAM
+  // cost as a row write.
+  book_write_cost(ids.size(),
+                  *std::max_element(burst_per_array.begin(),
+                                    burst_per_array.end()));
+}
+
+SegmentState AsmcapAccelerator::segment_state(std::uint64_t id) const {
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return SegmentState::Unknown;
+  return dir_.live[it->second] ? SegmentState::Live : SegmentState::Dead;
+}
+
+std::vector<std::pair<std::uint64_t, Sequence>>
+AsmcapAccelerator::live_segments() const {
+  std::vector<std::pair<std::uint64_t, Sequence>> out;
+  out.reserve(dir_.live_count);
+  for (std::size_t slot = 0; slot < dir_.slots(); ++slot) {
+    if (!dir_.live[slot]) continue;
+    const std::size_t a = slot / config_.array_rows;
+    const std::size_t r = slot % config_.array_rows;
+    out.emplace_back(dir_.ids[slot], units_[a].array().row_segment(r));
+  }
+  return out;
+}
+
+std::unique_ptr<AsmcapAccelerator> AsmcapAccelerator::clone() const {
+  auto copy = std::make_unique<AsmcapAccelerator>(config_);
+  copy->rates_ = rates_;
+  copy->backend_kind_ = backend_kind_;
+  // Replay the live rows into the same slots: silicon is keyed per global
+  // id, so the copy's analog state is identical where it matters (dead and
+  // unwritten rows are masked out of every decision and charge exactly
+  // zero search energy).
+  for (std::size_t slot = 0; slot < dir_.slots(); ++slot) {
+    if (!dir_.live[slot]) continue;
+    const std::size_t a = slot / config_.array_rows;
+    const std::size_t r = slot % config_.array_rows;
+    copy->write_slot(slot, dir_.ids[slot], units_[a].array().row_segment(r));
+  }
+  copy->dir_ = dir_;
+  copy->id_to_slot_ = id_to_slot_;
+  copy->functional_backend_->ensure_slots(dir_.slots());
+  copy->next_auto_id_ = next_auto_id_;
+  copy->identity_layout_ = identity_layout_;
+  copy->load_energy_ = load_energy_;
+  copy->load_latency_ = load_latency_;
+  copy->batch_epoch_ = batch_epoch_;
+  copy->rng_ = rng_;
+  return copy;
 }
 
 const ExecutionBackend& AsmcapAccelerator::backend() const {
-  if (segments_loaded_ == 0)
-    throw std::logic_error("AsmcapAccelerator: no reference loaded");
+  check_loaded();
   if (backend_kind_ == BackendKind::Functional) return *functional_backend_;
   return *circuit_backend_;
 }
 
+void AsmcapAccelerator::check_loaded() const {
+  if (dir_.slots() == 0)
+    throw DbError(DbErrorKind::NotLoaded,
+                  "AsmcapAccelerator: no reference loaded");
+}
+
 void AsmcapAccelerator::check_read(const Sequence& read) const {
-  if (segments_loaded_ == 0)
-    throw std::logic_error("AsmcapAccelerator: no reference loaded");
+  check_loaded();
   if (read.size() != config_.array_cols)
     throw std::invalid_argument("AsmcapAccelerator: read width mismatch");
 }
@@ -100,7 +289,8 @@ QueryResult AsmcapAccelerator::execute(const ExecutionPlan& plan,
 
   // HDAC pass: HD search and probabilistic selection (Algorithm 1). The
   // selection coin of each row is forked from its global segment id, so
-  // the outcome does not depend on which rows share its bank.
+  // the outcome does not depend on which slot or bank stores it (a dead
+  // slot decides false on both passes and draws no coin).
   if (plan.hd_pass) {
     const PassResult hd =
         backend.run_pass(plan.ed_star_passes.front(), MatchMode::Hamming,
@@ -110,8 +300,7 @@ QueryResult AsmcapAccelerator::execute(const ExecutionPlan& plan,
     const Rng select_rng = query_rng.fork(kHdacSelectSalt);
     for (std::size_t g = 0; g < ed_star.size(); ++g) {
       if (hd.decisions[g] == ed_star[g]) continue;
-      Rng coin = select_rng.fork(
-          static_cast<std::uint64_t>(config_.segment_base + g));
+      Rng coin = select_rng.fork(dir_.ids[g]);
       ed_star[g] = hdac.combine(hd.decisions[g], ed_star[g], plan.hdac_p,
                                 coin);
     }
@@ -127,6 +316,26 @@ QueryResult AsmcapAccelerator::execute(const ExecutionPlan& plan,
   return result;
 }
 
+QueryResult AsmcapAccelerator::rebase_to_ids(QueryResult raw) const {
+  // On a frozen database slot s holds id segment_base + s, so the raw
+  // slot-indexed result already IS the id-indexed result.
+  if (identity_layout_) return raw;
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(config_.segment_base);
+  const std::size_t space = static_cast<std::size_t>(next_auto_id_ - base);
+  QueryResult out;
+  out.plan = raw.plan;
+  out.latency_seconds = raw.latency_seconds;
+  out.energy_joules = raw.energy_joules;
+  out.decisions.assign(space, false);
+  for (std::size_t slot = 0; slot < raw.decisions.size(); ++slot)
+    if (raw.decisions[slot])
+      out.decisions[static_cast<std::size_t>(dir_.ids[slot] - base)] = true;
+  for (std::size_t g = 0; g < space; ++g)
+    if (out.decisions[g]) out.matched_segments.push_back(g);
+  return out;
+}
+
 QueryResult AsmcapAccelerator::search(const Sequence& read,
                                       std::size_t threshold,
                                       StrategyMode mode) {
@@ -135,7 +344,7 @@ QueryResult AsmcapAccelerator::search(const Sequence& read,
   // One advance of the sequential stream per query; everything inside the
   // query forks from the resulting stream (see backend.h).
   const Rng query_rng = rng_.fork(rng_.next());
-  QueryResult result = execute(plan, query_rng);
+  QueryResult result = rebase_to_ids(execute(plan, query_rng));
   controller_.record(result.plan, result.latency_seconds,
                      result.energy_joules);
   return result;
@@ -146,8 +355,7 @@ std::vector<QueryResult> AsmcapAccelerator::search_batch(
     StrategyMode mode, std::size_t workers) {
   for (const Sequence& read : reads) check_read(read);
   if (reads.empty()) {
-    if (segments_loaded_ == 0)
-      throw std::logic_error("AsmcapAccelerator: no reference loaded");
+    check_loaded();
     return {};
   }
 
@@ -163,7 +371,7 @@ std::vector<QueryResult> AsmcapAccelerator::search_batch(
         planner().build(reads[i], threshold, rates_, mode);
     const Rng query_rng =
         rng_.fork((epoch << 32) | static_cast<std::uint64_t>(i));
-    results[i] = execute(plan, query_rng);
+    results[i] = rebase_to_ids(execute(plan, query_rng));
   });
 
   // Ledger totals are recorded sequentially in read order.

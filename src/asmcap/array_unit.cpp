@@ -15,6 +15,12 @@ void AsmcapArrayUnit::write_row(std::size_t row, const Sequence& segment) {
   array_.write_row(row, segment);
 }
 
+void AsmcapArrayUnit::write_row(std::size_t row, const Sequence& segment,
+                                Rng& silicon_rng) {
+  array_.write_row(row, segment);
+  readout_.remanufacture_row(row, silicon_rng);
+}
+
 RawSearch AsmcapArrayUnit::search_raw(const Sequence& read, MatchMode mode) {
   double energy = 0.0;
   RawSearch raw = measure(read, mode, &energy);

@@ -34,6 +34,15 @@ class AsmcapArrayUnit {
   std::size_t valid_rows() const { return array_.valid_rows(); }
 
   void write_row(std::size_t row, const Sequence& segment);
+  /// Live-database write: stores the segment AND re-manufactures the row's
+  /// analog silicon from `silicon_rng` (a stream keyed by the segment's
+  /// global id), so the row's noisy behaviour travels with the segment
+  /// across rows, arrays, and banks.
+  void write_row(std::size_t row, const Sequence& segment, Rng& silicon_rng);
+  /// Tombstones a row: its matchline reports all-mismatch (count == cols,
+  /// exactly zero charge-domain search energy) and it can never decide
+  /// 'match'. The row may be re-written later.
+  void invalidate_row(std::size_t row) { array_.invalidate_row(row); }
   const CamArray& array() const { return array_; }
 
   /// One search operation: drives the read, evaluates every row in the

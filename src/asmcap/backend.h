@@ -22,10 +22,16 @@
 //    test_edam).
 //
 // Ownership: backends are owned by their accelerator and hold non-owning
-// references into it (CircuitBackend) or private packed copies of the
-// segments (FunctionalBackend); the accelerator must outlive them.
+// references into it (both read the accelerator's LiveDirectory; the
+// functional backend additionally owns a packed copy of the slots, kept in
+// sync by the accelerator's write path); the accelerator must outlive
+// them.
 // Thread-safety: run_pass is const and thread-safe — concurrent batch
 // workers share one backend, each supplying its own forked RNG stream.
+// Mutations (which rewrite the directory and packed rows) never run
+// against a backend with passes in flight: the sharded router mutates
+// CLONES and publishes them as a new epoch, so in-flight work only ever
+// reads immutable snapshots (docs/architecture.md "Live database").
 // Reentrancy: run_pass never dispatches work to a pool, so it is safe to
 // call from inside pool tasks (the service does exactly that).
 //
@@ -60,9 +66,38 @@ enum class BackendKind : std::uint8_t { Circuit, Functional };
 
 const char* to_string(BackendKind kind);
 
-/// Result of one array pass over every loaded segment.
+/// Per-slot live-database directory shared by an accelerator and its
+/// backends (slot = array * array_rows + row, allocated in fill order).
+/// The accelerator mutates it on the control plane (append/delete); the
+/// backends read it inside run_pass. A tombstoned slot keeps its last id
+/// (results stay sized by slot) but is masked out of decisions and
+/// matchline energy, and an array whose live count drops to zero is
+/// skipped entirely — no SL-driver energy for dead silicon.
+struct LiveDirectory {
+  std::vector<std::uint64_t> ids;  ///< Global segment id per slot.
+  std::vector<bool> live;          ///< Tombstone mask per slot.
+  std::vector<std::size_t> array_live;  ///< Live rows per array.
+  std::size_t live_count = 0;
+
+  std::size_t slots() const { return ids.size(); }
+  bool slot_live(std::size_t slot) const {
+    return slot < live.size() && live[slot];
+  }
+  std::size_t arrays_in_use() const {
+    std::size_t used = 0;
+    for (const std::size_t rows : array_live)
+      if (rows != 0) ++used;
+    return used;
+  }
+};
+
+/// Result of one array pass over every allocated row slot. Decisions are
+/// SLOT-indexed; tombstoned slots are always false. On a frozen (never
+/// mutated) database slot == local segment id, so this is exactly the
+/// per-segment bitmap it has always been; after mutations the caller maps
+/// slots to global ids through the LiveDirectory.
 struct PassResult {
-  std::vector<bool> decisions;  ///< Per global segment, at the threshold.
+  std::vector<bool> decisions;  ///< Per slot, at the threshold.
   double energy_joules = 0.0;   ///< SL-driver + matchline energy of the pass.
 };
 
@@ -84,48 +119,60 @@ class ExecutionBackend {
 };
 
 /// Cell-accurate backend wrapping the manufactured AsmcapArrayUnit bank.
-/// Holds non-owning references into the accelerator; the accelerator must
-/// outlive it.
+/// Holds non-owning references into the accelerator (the unit vector and
+/// the live directory — both stable objects whose contents the accelerator
+/// mutates on the control plane); the accelerator must outlive it. An
+/// array with zero live rows is skipped whole — no SL-driver energy — and
+/// a tombstoned row decides nothing and draws no RNG fork (per-decision
+/// streams are pure per-id forks, so skipping shifts no other draw).
 class CircuitBackend : public ExecutionBackend {
  public:
   CircuitBackend(const std::vector<AsmcapArrayUnit>& units,
-                 const ReferenceMapper& mapper, std::size_t segment_count,
-                 std::size_t array_rows, std::size_t segment_base = 0);
+                 const LiveDirectory& directory, std::size_t array_rows);
 
   const char* name() const override { return "circuit"; }
-  std::size_t segment_count() const override { return segment_count_; }
+  std::size_t segment_count() const override { return dir_->slots(); }
   PassResult run_pass(const Sequence& read, MatchMode mode,
                       std::size_t threshold, const Rng& query_rng,
                       std::uint64_t pass_salt) const override;
 
  private:
   const std::vector<AsmcapArrayUnit>* units_;
-  const ReferenceMapper* mapper_;
-  std::size_t segment_count_;
+  const LiveDirectory* dir_;
   std::size_t array_rows_;
-  std::size_t segment_base_;
 };
 
 /// Fast functional backend: SIMD-dispatched block kernels
-/// (align/kernels.h) over a row-major 2-bit packed segment matrix, ideal
+/// (align/kernels.h) over a row-major 2-bit packed slot matrix, ideal
 /// (noise-free) decisions, nominal analytic energy. Each pass builds one
 /// PackedReadView — the read-derived neighbour alignments are computed
-/// once per (read, rotation), not once per (segment, read).
+/// once per (read, rotation), not once per (segment, read). The packed
+/// matrix is owned here and kept row-aligned with the accelerator's slots
+/// by write_slot (the live-database append path); tombstoned slots are
+/// masked out of decisions and row energy by the shared LiveDirectory, and
+/// SL-driver energy is charged only for arrays with at least one live row.
 class FunctionalBackend : public ExecutionBackend {
  public:
-  FunctionalBackend(const std::vector<Sequence>& segments,
-                    const AsmcapConfig& config);
+  FunctionalBackend(const AsmcapConfig& config,
+                    const LiveDirectory& directory);
+
+  /// (Re)writes one slot's packed row, growing the matrix as needed.
+  void write_slot(std::size_t slot, const Sequence& segment);
+  /// Grows the matrix to `slots` zero rows (trailing tombstones).
+  void ensure_slots(std::size_t slots);
 
   const char* name() const override { return "functional"; }
-  std::size_t segment_count() const override { return packed_.rows(); }
+  std::size_t segment_count() const override { return rows_; }
   PassResult run_pass(const Sequence& read, MatchMode mode,
                       std::size_t threshold, const Rng& query_rng,
                       std::uint64_t pass_salt) const override;
 
  private:
-  PackedRowMatrix packed_;  ///< Row-major packed segments.
+  const LiveDirectory* dir_;
+  std::vector<std::uint64_t> words_;  ///< Row-major packed slots.
+  std::size_t rows_ = 0;
   std::size_t cols_;
-  std::size_t arrays_in_use_;
+  std::size_t words_per_row_;
   ChargeDomainParams charge_;
   SearchlineDriverParams sl_params_;
 };

@@ -11,15 +11,9 @@ const char* to_string(BackendKind kind) {
 }
 
 CircuitBackend::CircuitBackend(const std::vector<AsmcapArrayUnit>& units,
-                               const ReferenceMapper& mapper,
-                               std::size_t segment_count,
-                               std::size_t array_rows,
-                               std::size_t segment_base)
-    : units_(&units),
-      mapper_(&mapper),
-      segment_count_(segment_count),
-      array_rows_(array_rows),
-      segment_base_(segment_base) {}
+                               const LiveDirectory& directory,
+                               std::size_t array_rows)
+    : units_(&units), dir_(&directory), array_rows_(array_rows) {}
 
 PassResult CircuitBackend::run_pass(const Sequence& read, MatchMode mode,
                                     std::size_t threshold,
@@ -27,19 +21,25 @@ PassResult CircuitBackend::run_pass(const Sequence& read, MatchMode mode,
                                     std::uint64_t pass_salt) const {
   const Rng pass_rng = query_rng.fork(pass_salt);
   PassResult result;
-  result.decisions.assign(segment_count_, false);
+  result.decisions.assign(dir_->slots(), false);
   for (std::size_t a = 0; a < units_->size(); ++a) {
+    // An array with no live rows is never driven: its SL drivers stay
+    // quiet and its matchlines never charge — the live database pays only
+    // for silicon that holds live segments.
+    if (a >= dir_->array_live.size() || dir_->array_live[a] == 0) continue;
     const AsmcapArrayUnit& unit = (*units_)[a];
     double pass_energy = 0.0;
+    // Tombstoned rows present the all-mismatch mask: their matchline
+    // search energy is k*(n-k)/n at k == n — exactly zero.
     const RawSearch raw = unit.measure(read, mode, &pass_energy);
     result.energy_joules += pass_energy;
     for (std::size_t r = 0; r < array_rows_; ++r) {
-      const auto segment = mapper_->segment_at(a, r);
-      if (!segment) continue;
-      // SA noise keyed by global segment id: placement-invariant.
-      Rng decide_rng = pass_rng.fork(
-          static_cast<std::uint64_t>(segment_base_ + *segment));
-      result.decisions[*segment] =
+      const std::size_t slot = a * array_rows_ + r;
+      if (!dir_->slot_live(slot)) continue;
+      // SA noise keyed by global segment id: placement-invariant, and a
+      // dead slot's never-taken fork cannot shift any live slot's draw.
+      Rng decide_rng = pass_rng.fork(dir_->ids[slot]);
+      result.decisions[slot] =
           unit.decide(raw.counts[r], raw.vml[r], threshold, decide_rng);
     }
   }

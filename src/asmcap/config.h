@@ -52,6 +52,21 @@ struct PruningParams {
   bool enabled = false;
 };
 
+/// Live-database knobs (epoch-snapshotted mutable banks, see
+/// docs/architecture.md "Live database"). Appends land in a small HOT bank
+/// so a trickle of inserts never pays SL-driver energy for a
+/// mostly-empty full-size array; when the hot bank fills (or compact() is
+/// called) it is folded into the cold banks' free rows at an epoch
+/// boundary.
+struct LiveParams {
+  std::size_t hot_array_rows = 64;
+  std::size_t hot_array_count = 4;
+
+  std::size_t hot_capacity_segments() const {
+    return hot_array_rows * hot_array_count;
+  }
+};
+
 struct AsmcapConfig {
   std::size_t array_rows = 256;
   std::size_t array_cols = 256;  ///< == read length m
@@ -64,11 +79,22 @@ struct AsmcapConfig {
   /// Router-level shard pruning (banks build sketches at load time).
   PruningParams pruning;
   std::uint64_t seed = 0xA5A5'5A5A'C0FF'EE00ULL;
+  /// Seed of the manufactured-silicon stream; 0 means "use `seed`". Every
+  /// written row's analog silicon is drawn from
+  /// Rng(silicon_seed).fork(0x51C0).fork(global segment id), so a noisy
+  /// decision is a pure function of (silicon seed, global id, query
+  /// stream) — independent of row, array, and bank placement. The sharded
+  /// router points every bank (hot and cold) at ITS OWN seed, which is
+  /// what makes live-database rebalancing invisible to noisy sensing
+  /// (docs/determinism.md rule 8).
+  std::uint64_t silicon_seed = 0;
   /// Global id of this bank's first segment. 0 for a standalone
   /// accelerator; the sharded router sets it per bank so that every
   /// per-decision RNG stream is keyed by *global* segment id — which makes
   /// match decisions independent of how segments are placed across banks.
   std::size_t segment_base = 0;
+  /// Live-database geometry (used by the sharded router's hot append bank).
+  LiveParams live;
 
   std::size_t capacity_segments() const { return array_rows * array_count; }
   /// Memory capacity in bits (2 bits per base): 512 x 256 x 256 x 2 = 64 Mb.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "asmcap/db_error.h"
+
 namespace asmcap {
 
 namespace {
@@ -32,10 +34,14 @@ EdamAccelerator::EdamAccelerator(EdamConfig config)
 }
 
 void EdamAccelerator::load_reference(const std::vector<Sequence>& segments) {
+  // Same typed error path as the live ASMCap database (asmcap/db_error.h),
+  // so callers comparing the two accelerators branch on one error model.
   if (segments_loaded_ != 0)
-    throw std::logic_error("EdamAccelerator: reference already loaded");
+    throw DbError(DbErrorKind::AlreadyLoaded,
+                  "EdamAccelerator: reference already loaded");
   if (segments.size() > config_.capacity_segments())
-    throw std::length_error("EdamAccelerator: capacity exceeded");
+    throw DbError(DbErrorKind::CapacityExceeded,
+                  "EdamAccelerator: capacity exceeded");
   arrays_in_use_ =
       (segments.size() + config_.array_rows - 1) / config_.array_rows;
   Rng manufacture = rng_.fork(0xEDA1);

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <stdexcept>
 
 #include "align/kernels.h"
@@ -18,16 +19,29 @@ double nominal_row_energy(std::size_t n_mis, std::size_t n_cells,
 
 }  // namespace
 
-FunctionalBackend::FunctionalBackend(const std::vector<Sequence>& segments,
-                                     const AsmcapConfig& config)
-    : packed_(segments, config.array_cols),
+FunctionalBackend::FunctionalBackend(const AsmcapConfig& config,
+                                     const LiveDirectory& directory)
+    : dir_(&directory),
       cols_(config.array_cols),
-      arrays_in_use_(segments.empty()
-                         ? 0
-                         : (segments.size() + config.array_rows - 1) /
-                               config.array_rows),
+      words_per_row_((config.array_cols + 31) / 32),
       charge_(config.process.charge),
       sl_params_() {}
+
+void FunctionalBackend::ensure_slots(std::size_t slots) {
+  if (slots <= rows_) return;
+  words_.resize(slots * words_per_row_, 0);
+  rows_ = slots;
+}
+
+void FunctionalBackend::write_slot(std::size_t slot,
+                                   const Sequence& segment) {
+  if (segment.size() != cols_)
+    throw std::invalid_argument("FunctionalBackend: segment width mismatch");
+  ensure_slots(slot + 1);
+  const std::vector<std::uint64_t> packed = segment.packed_words();
+  std::copy(packed.begin(), packed.end(),
+            words_.begin() + slot * words_per_row_);
+}
 
 PassResult FunctionalBackend::run_pass(const Sequence& read, MatchMode mode,
                                        std::size_t threshold,
@@ -36,23 +50,26 @@ PassResult FunctionalBackend::run_pass(const Sequence& read, MatchMode mode,
   if (read.size() != cols_)
     throw std::invalid_argument("FunctionalBackend: read width mismatch");
   // Read-derived work once per (read, rotation), then one SIMD-dispatched
-  // block sweep over the whole packed segment matrix.
+  // block sweep over the whole packed slot matrix (tombstoned slots are
+  // counted too — cheaper than scattering — and masked below).
   const PackedReadView view(read);
-  std::vector<std::uint32_t> counts(packed_.rows());
+  std::vector<std::uint32_t> counts(rows_);
   const KernelOps& ops = active_kernel_ops();
   (mode == MatchMode::Hamming ? ops.hamming_block : ops.ed_star_block)(
-      packed_.data(), packed_.rows(), view, counts.data());
+      words_.data(), rows_, view, counts.data());
 
   PassResult result;
-  result.decisions.assign(packed_.rows(), false);
-  // Every in-use array drives its search lines once per pass, whichever
-  // backend evaluates the rows.
-  result.energy_joules = static_cast<double>(arrays_in_use_) *
+  result.decisions.assign(rows_, false);
+  // Every array holding at least one live row drives its search lines once
+  // per pass, whichever backend evaluates the rows; all-dead arrays are
+  // never driven (same SL gating as the circuit path).
+  result.energy_joules = static_cast<double>(dir_->arrays_in_use()) *
                          sl_params_.energy_per_base *
                          static_cast<double>(cols_);
-  for (std::size_t g = 0; g < packed_.rows(); ++g) {
-    result.decisions[g] = counts[g] <= threshold;
-    result.energy_joules += nominal_row_energy(counts[g], cols_, charge_);
+  for (std::size_t slot = 0; slot < rows_; ++slot) {
+    if (!dir_->slot_live(slot)) continue;
+    result.decisions[slot] = counts[slot] <= threshold;
+    result.energy_joules += nominal_row_energy(counts[slot], cols_, charge_);
   }
   return result;
 }

@@ -18,6 +18,19 @@ ReadMapper::ReadMapper(AsmcapConfig config, std::vector<Sequence> segments,
   accelerator_.load_reference(segments_);
 }
 
+std::vector<std::uint64_t> ReadMapper::append_segments(
+    const std::vector<Sequence>& segments) {
+  const std::vector<std::uint64_t> ids =
+      accelerator_.append_segments(segments);
+  // Host copies are indexed by (global id - segment_base); auto-assigned
+  // ids extend the id space contiguously, so the table extends in step.
+  const std::size_t base = accelerator_.config().segment_base;
+  segments_.resize(accelerator_.loaded_segments());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    segments_[static_cast<std::size_t>(ids[i]) - base] = segments[i];
+  return ids;
+}
+
 MappedRead ReadMapper::verify(const Sequence& read, const QueryResult& result,
                               std::size_t threshold,
                               std::size_t* dp_cells) const {

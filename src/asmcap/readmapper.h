@@ -106,6 +106,20 @@ class ReadMapper {
                          std::vector<MappedRead>* out = nullptr,
                          std::size_t workers = 1);
 
+  /// Live-database passthrough: appends segments to the sharded filter
+  /// and keeps the host-side verification copies aligned with the global
+  /// id space (ids are assigned sequentially, so the host table simply
+  /// extends). Returns the new global ids. Control-plane only — never
+  /// mutate while a map_batch is in flight on another thread.
+  std::vector<std::uint64_t> append_segments(
+      const std::vector<Sequence>& segments);
+  /// Live-database passthrough: tombstones the given global ids. The
+  /// host-side copies stay in place (a dead id is never reported by the
+  /// filter, so its copy is simply never read again).
+  void remove_segments(const std::vector<std::uint64_t>& ids) {
+    accelerator_.remove_segments(ids);
+  }
+
   /// Cumulative statistics over every map()/map_batch() call since
   /// construction (or the last reset_stats()).
   const MappingStats& stats() const { return stats_; }

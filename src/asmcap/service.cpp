@@ -130,25 +130,28 @@ void SearchTicket::run_read(std::size_t i) {
     slot.plan = accel_->controller_.planner().build(
         (*reads_)[i], threshold_, accel_->rates_, mode_);
     slot.rng = master_.fork((epoch_ << 32) | static_cast<std::uint64_t>(i));
-    slot.shard_ids = accel_->probe_shards(slot.plan);
+    slot.shard_ids = accel_->probe_shards(*db_, slot.plan);
     selected = slot.shard_ids.size();
     if (accel_->config_.pruning.enabled) {
       slot.banks_probed = selected;
-      slot.banks_pruned = accel_->active_shards_ - selected;
+      slot.banks_pruned = db_->banks.size() - selected;
     }
     if (selected == 0) {
       // Every bank pruned: nothing executes, but the read still merges to
       // its deterministic all-false shape with the plan's pass latency.
-      slot.merged = accel_->empty_result(slot.plan);
+      slot.merged = accel_->empty_result(*db_, slot.plan);
       complete_read(i);
       return;
     }
-    if (selected == 1 && accel_->active_shards_ == 1) {
-      // Single-bank router: the bank's result is already global (base 0,
-      // full-width decision bitmap) — no partial staging, no rebase/merge.
-      // (A read pruned down to ONE bank of many still stages: its bank's
-      // bitmap is local and must be re-based through merge_subset.)
-      slot.merged = accel_->banks_[0]->execute(slot.plan, slot.rng);
+    if (selected == 1 && db_->banks.size() == 1 &&
+        db_->banks[0]->identity_layout() &&
+        db_->banks[0]->loaded_segments() == db_->id_space) {
+      // Single-bank router with the identity layout (slot s holds global
+      // id s — always true frozen): the bank's slot-indexed result is
+      // already the global result — no partial staging, no rebase/merge.
+      // (A read pruned down to ONE bank of many still stages, and a
+      // mutated single bank must rebase through its directory.)
+      slot.merged = db_->banks[0]->execute(slot.plan, slot.rng);
       complete_read(i);
       return;
     }
@@ -185,7 +188,7 @@ void SearchTicket::run_shard(std::size_t i, std::size_t s) {
   Slot& slot = slots_[i];
   try {
     slot.partials[s] =
-        accel_->banks_[slot.shard_ids[s]]->execute(slot.plan, slot.rng);
+        db_->banks[slot.shard_ids[s]]->execute(slot.plan, slot.rng);
   } catch (...) {
     record_error(std::current_exception());
     slot.failed.store(true, std::memory_order_release);
@@ -199,7 +202,8 @@ void SearchTicket::run_shard(std::size_t i, std::size_t s) {
     // pool task.
     try {
       if (!slot.failed.load(std::memory_order_acquire))
-        slot.merged = accel_->merge_subset(slot.partials, slot.shard_ids);
+        slot.merged =
+            accel_->merge_subset(*db_, slot.partials, slot.shard_ids);
     } catch (...) {
       record_error(std::current_exception());
       slot.failed.store(true, std::memory_order_release);
@@ -317,6 +321,12 @@ std::shared_ptr<SearchTicket> SearchService::launch(
   // finish_one when the last read completes).
   ticket->pool_ = &accel_->worker_pool(options.workers);
   accel_->pool_.pin();
+
+  // Capture the database epoch on the control thread: every worker-side
+  // read goes through this snapshot, so mutations published after launch
+  // are invisible to this ticket (and the snapshot's shared banks stay
+  // alive until the ticket completes).
+  ticket->db_ = accel_->db_;
 
   // Snapshot the master stream on the control thread: workers fork from
   // the copy, so nothing in this ticket ever touches the live rng_.

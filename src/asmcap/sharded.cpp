@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "asmcap/service.h"
 
@@ -12,21 +13,48 @@ ShardedAccelerator::ShardedAccelerator(AsmcapConfig config,
     : config_(config),
       shard_count_(shard_count),
       rates_(ErrorRates::condition_a()),
+      next_global_id_(static_cast<std::uint64_t>(config.segment_base)),
+      timing_(config.process),
       controller_(config),
       rng_(config.seed) {
   if (shard_count_ == 0)
     throw std::invalid_argument("ShardedAccelerator: zero shards");
 }
 
+std::shared_ptr<AsmcapAccelerator> ShardedAccelerator::make_bank(
+    bool cold, std::size_t seed_salt) const {
+  AsmcapConfig bank_config = config_;
+  // Bank-internal sequential streams are never used by the router, but
+  // keep them distinct per bank anyway (Rng::reseed splitmixes, so
+  // consecutive seeds decorrelate).
+  bank_config.seed = config_.seed + seed_salt;
+  // ONE silicon stream tree for the whole router: a row's manufactured
+  // silicon is keyed by its global id alone, so rebalancing a segment
+  // into another bank moves its noisy behaviour with it (determinism
+  // rule 8).
+  bank_config.silicon_seed =
+      config_.silicon_seed != 0 ? config_.silicon_seed : config_.seed;
+  bank_config.segment_base = config_.segment_base;
+  if (!cold) {
+    bank_config.array_rows = config_.live.hot_array_rows;
+    bank_config.array_count = config_.live.hot_array_count;
+  }
+  auto bank = std::make_shared<AsmcapAccelerator>(bank_config);
+  bank->set_error_profile(rates_);
+  bank->set_backend(backend_kind_);
+  return bank;
+}
+
 void ShardedAccelerator::load_reference(
     const std::vector<Sequence>& segments) {
-  if (segments_loaded_ != 0)
-    throw std::logic_error("ShardedAccelerator: reference already loaded");
+  if (db_)
+    throw DbError(DbErrorKind::AlreadyLoaded,
+                  "ShardedAccelerator: reference already loaded");
   if (segments.empty())
     throw std::invalid_argument("ShardedAccelerator: no segments");
   if (segments.size() > capacity_segments())
-    throw std::length_error(
-        "ShardedAccelerator: database exceeds the sharded capacity");
+    throw DbError(DbErrorKind::CapacityExceeded,
+                  "ShardedAccelerator: database exceeds the sharded capacity");
 
   // Contiguous balanced partition: shard s holds count/N segments plus one
   // of the count%N leftovers. Every share fits one bank because
@@ -35,77 +63,294 @@ void ShardedAccelerator::load_reference(
   // per segment) — empty banks are never built, so every active bank can
   // execute queries.
   const std::size_t total = segments.size();
-  active_shards_ = std::min(shard_count_, total);
-  bases_.assign(active_shards_ + 1, 0);
-  for (std::size_t s = 0; s < active_shards_; ++s)
-    bases_[s + 1] = bases_[s] + total / active_shards_ +
-                    (s < total % active_shards_ ? 1u : 0u);
+  const std::size_t shards = std::min(shard_count_, total);
+  std::vector<std::size_t> bases(shards + 1, 0);
+  for (std::size_t s = 0; s < shards; ++s)
+    bases[s + 1] = bases[s] + total / shards + (s < total % shards ? 1u : 0u);
 
-  banks_.reserve(active_shards_);
-  for (std::size_t s = 0; s < active_shards_; ++s) {
-    AsmcapConfig bank_config = config_;
-    // Bank 0 keeps the config's seed (the N == 1 bit-identity anchor);
-    // later banks are physically distinct chips with their own silicon
-    // streams (Rng::reseed splitmixes, so consecutive seeds decorrelate).
-    bank_config.seed = config_.seed + s;
-    bank_config.segment_base = config_.segment_base + bases_[s];
-    banks_.push_back(std::make_unique<AsmcapAccelerator>(bank_config));
-    banks_.back()->set_error_profile(rates_);
-    banks_.back()->set_backend(backend_kind_);
-    const std::vector<Sequence> block(segments.begin() + bases_[s],
-                                      segments.begin() + bases_[s + 1]);
-    banks_.back()->load_reference(block);
+  auto next = std::make_shared<DbEpoch>();
+  next->number = 1;
+  next->banks.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    // The frozen anchor: bank s's ids are the contiguous global block
+    // [segment_base + bases[s], segment_base + bases[s+1]). Bank 0 keeps
+    // the config's seed; every bank shares the router's silicon seed so
+    // a later rebalance cannot change any row's manufactured silicon.
+    AsmcapConfig cfg = config_;
+    cfg.seed = config_.seed + s;
+    cfg.silicon_seed =
+        config_.silicon_seed != 0 ? config_.silicon_seed : config_.seed;
+    cfg.segment_base = config_.segment_base + bases[s];
+    next->banks.push_back(std::make_shared<AsmcapAccelerator>(cfg));
+    next->banks.back()->set_error_profile(rates_);
+    next->banks.back()->set_backend(backend_kind_);
+    const std::vector<Sequence> block(segments.begin() + bases[s],
+                                      segments.begin() + bases[s + 1]);
+    next->banks.back()->load_reference(block);
   }
-  segments_loaded_ = total;
+  next->has_hot = false;
+  next->id_space = total;
+  next->live_count = total;
+  next_global_id_ =
+      static_cast<std::uint64_t>(config_.segment_base) + total;
+  db_ = std::move(next);
+}
+
+AsmcapAccelerator& ShardedAccelerator::touch(DbEpoch& next,
+                                             std::vector<bool>& owned,
+                                             std::size_t i) const {
+  if (!owned[i]) {
+    next.banks[i] =
+        std::shared_ptr<AsmcapAccelerator>(next.banks[i]->clone());
+    owned[i] = true;
+  }
+  return *next.banks[i];
+}
+
+void ShardedAccelerator::fold_hot(DbEpoch& next,
+                                  std::vector<bool>& owned) const {
+  // Gather the hot bank's survivors in ascending id order (the canonical
+  // fold order: deterministic whatever slot-recycling history the hot
+  // bank had) and drop it from the epoch.
+  std::vector<std::pair<std::uint64_t, Sequence>> moved =
+      next.banks.back()->live_segments();
+  std::sort(moved.begin(), moved.end(),
+            [](const std::pair<std::uint64_t, Sequence>& a,
+               const std::pair<std::uint64_t, Sequence>& b) {
+              return a.first < b.first;
+            });
+  next.banks.pop_back();
+  owned.pop_back();
+  next.has_hot = false;
+
+  std::size_t j = 0;
+  std::size_t s = 0;
+  while (j < moved.size()) {
+    if (s == next.banks.size()) {
+      // All existing cold banks are full: grow the cold tier (the
+      // capacity invariant — live <= cold capacity — guarantees we never
+      // need more than shard_count_ banks).
+      if (next.banks.size() >= shard_count_)
+        throw std::logic_error("ShardedAccelerator: fold overflow");
+      next.banks.push_back(make_bank(true, next.banks.size()));
+      owned.push_back(true);
+    }
+    const std::size_t room = next.banks[s]->free_capacity();
+    if (room == 0) {
+      ++s;
+      continue;
+    }
+    const std::size_t take = std::min(room, moved.size() - j);
+    std::vector<Sequence> block;
+    std::vector<std::uint64_t> ids;
+    block.reserve(take);
+    ids.reserve(take);
+    for (std::size_t k = 0; k < take; ++k) {
+      ids.push_back(moved[j + k].first);
+      block.push_back(std::move(moved[j + k].second));
+    }
+    touch(next, owned, s).append_segments(block, ids);
+    j += take;
+    ++s;
+  }
+}
+
+std::vector<std::uint64_t> ShardedAccelerator::append_segments(
+    const std::vector<Sequence>& segments) {
+  if (segments.empty()) return {};
+  for (const Sequence& segment : segments)
+    if (segment.size() != config_.array_cols)
+      throw std::invalid_argument("ShardedAccelerator: segment width mismatch");
+  const std::size_t live_now = db_ ? db_->live_count : 0;
+  if (live_now + segments.size() > capacity_segments())
+    throw DbError(DbErrorKind::CapacityExceeded,
+                  "ShardedAccelerator: database exceeds the sharded capacity");
+
+  auto next = std::make_shared<DbEpoch>();
+  next->number = (db_ ? db_->number : 0) + 1;
+  if (db_) {
+    next->banks = db_->banks;
+    next->has_hot = db_->has_hot;
+  }
+  std::vector<bool> owned(next->banks.size(), false);
+
+  std::vector<std::uint64_t> ids(segments.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    ids[i] = next_global_id_ + static_cast<std::uint64_t>(i);
+
+  std::size_t i = 0;
+  while (i < segments.size()) {
+    if (!next->has_hot) {
+      // Fresh hot staging bank (always last). Its seed salt only has to
+      // be distinct from the cold banks'; the epoch number keeps
+      // successive hot generations distinct too.
+      next->banks.push_back(make_bank(
+          false, shard_count_ + static_cast<std::size_t>(next->number)));
+      owned.push_back(true);
+      next->has_hot = true;
+    }
+    AsmcapAccelerator& hot = touch(*next, owned, next->banks.size() - 1);
+    const std::size_t room = hot.free_capacity();
+    if (room == 0) {
+      // Hot overflow: fold the staged rows into the cold tier mid-append
+      // and start a fresh hot bank.
+      fold_hot(*next, owned);
+      continue;
+    }
+    const std::size_t take = std::min(room, segments.size() - i);
+    hot.append_segments(
+        std::vector<Sequence>(segments.begin() + i,
+                              segments.begin() + i + take),
+        std::vector<std::uint64_t>(ids.begin() + i, ids.begin() + i + take));
+    i += take;
+  }
+
+  next->id_space = static_cast<std::size_t>(
+      next_global_id_ + segments.size() -
+      static_cast<std::uint64_t>(config_.segment_base));
+  next->live_count = live_now + segments.size();
+  next_global_id_ += segments.size();
+  db_ = std::move(next);
+  return ids;
+}
+
+void ShardedAccelerator::remove_segments(
+    const std::vector<std::uint64_t>& ids) {
+  check_loaded();
+  if (ids.empty())
+    throw DbError(DbErrorKind::EmptyMutation,
+                  "ShardedAccelerator: remove_segments with no ids");
+  // Validate every id against the CURRENT epoch before cloning anything:
+  // a throw below leaves the published epoch untouched.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(ids.size());
+  std::vector<std::vector<std::uint64_t>> per_bank(db_->banks.size());
+  for (const std::uint64_t id : ids) {
+    if (!seen.insert(id).second)
+      throw DbError(DbErrorKind::DoubleDelete,
+                    "ShardedAccelerator: segment already deleted");
+    bool found = false;
+    for (std::size_t s = 0; s < db_->banks.size() && !found; ++s) {
+      switch (db_->banks[s]->segment_state(id)) {
+        case SegmentState::Live:
+          per_bank[s].push_back(id);
+          found = true;
+          break;
+        case SegmentState::Dead:
+          throw DbError(DbErrorKind::DoubleDelete,
+                        "ShardedAccelerator: segment already deleted");
+        case SegmentState::Unknown:
+          break;
+      }
+    }
+    if (!found)
+      throw DbError(DbErrorKind::UnknownSegment,
+                    "ShardedAccelerator: unknown segment id");
+  }
+
+  auto next = std::make_shared<DbEpoch>(*db_);
+  next->number = db_->number + 1;
+  std::vector<bool> owned(next->banks.size(), false);
+  for (std::size_t s = 0; s < per_bank.size(); ++s)
+    if (!per_bank[s].empty())
+      touch(*next, owned, s).remove_segments(per_bank[s]);
+  next->live_count -= ids.size();
+  db_ = std::move(next);
+}
+
+std::uint64_t ShardedAccelerator::compact() {
+  check_loaded();
+  if (!db_->has_hot) return db_->number;  // nothing staged: no new epoch
+  auto next = std::make_shared<DbEpoch>(*db_);
+  next->number = db_->number + 1;
+  std::vector<bool> owned(next->banks.size(), false);
+  fold_hot(*next, owned);
+  const std::uint64_t number = next->number;
+  db_ = std::move(next);
+  return number;
+}
+
+SegmentState ShardedAccelerator::segment_state(std::uint64_t id) const {
+  if (!db_) return SegmentState::Unknown;
+  for (const auto& bank : db_->banks) {
+    const SegmentState state = bank->segment_state(id);
+    if (state != SegmentState::Unknown) return state;
+  }
+  return SegmentState::Unknown;
+}
+
+std::vector<std::pair<std::uint64_t, Sequence>>
+ShardedAccelerator::live_segments() const {
+  std::vector<std::pair<std::uint64_t, Sequence>> out;
+  if (!db_) return out;
+  out.reserve(db_->live_count);
+  for (const auto& bank : db_->banks) {
+    std::vector<std::pair<std::uint64_t, Sequence>> part =
+        bank->live_segments();
+    for (auto& entry : part) out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::pair<std::uint64_t, Sequence>& a,
+               const std::pair<std::uint64_t, Sequence>& b) {
+              return a.first < b.first;
+            });
+  return out;
 }
 
 void ShardedAccelerator::set_error_profile(const ErrorRates& rates) {
   rates_ = rates;
-  for (auto& bank : banks_) bank->set_error_profile(rates);
+  if (db_)
+    for (const auto& bank : db_->banks) bank->set_error_profile(rates);
 }
 
 void ShardedAccelerator::set_backend(BackendKind kind) {
   backend_kind_ = kind;
-  for (auto& bank : banks_) bank->set_backend(kind);
+  if (db_)
+    for (const auto& bank : db_->banks) bank->set_backend(kind);
 }
 
 double ShardedAccelerator::load_energy_joules() const {
   double energy = 0.0;
-  for (const auto& bank : banks_) energy += bank->load_energy_joules();
+  if (db_)
+    for (const auto& bank : db_->banks)
+      energy += bank->load_energy_joules();
   return energy;
 }
 
 double ShardedAccelerator::load_latency_seconds() const {
   double latency = 0.0;
-  for (const auto& bank : banks_)
-    latency = std::max(latency, bank->load_latency_seconds());
+  if (db_)
+    for (const auto& bank : db_->banks)
+      latency = std::max(latency, bank->load_latency_seconds());
   return latency;
 }
 
 void ShardedAccelerator::check_loaded() const {
-  if (segments_loaded_ == 0)
-    throw std::logic_error("ShardedAccelerator: no reference loaded");
+  if (!db_)
+    throw DbError(DbErrorKind::NotLoaded,
+                  "ShardedAccelerator: no reference loaded");
 }
 
 void ShardedAccelerator::check_shard(std::size_t s) const {
   check_loaded();
-  if (s >= active_shards_)
+  if (s >= db_->banks.size())
     throw std::out_of_range("ShardedAccelerator: shard index out of range");
 }
 
 std::vector<std::uint32_t> ShardedAccelerator::probe_shards(
-    const ExecutionPlan& plan) const {
+    const DbEpoch& db, const ExecutionPlan& plan) const {
   std::vector<std::uint32_t> selected;
-  selected.reserve(active_shards_);
+  selected.reserve(db.banks.size());
   const std::size_t windows =
       config_.pruning.enabled
           ? pruning_window_count(config_, backend_kind_, plan.threshold)
           : 0;
-  for (std::uint32_t s = 0; s < active_shards_; ++s) {
+  for (std::uint32_t s = 0; s < db.banks.size(); ++s) {
     // windows == 0 means a sound prune is impossible for this query (or
     // pruning is off): dispatch everything. A bank without a sketch is
     // never skipped either.
-    const BankSketch* sketch = windows == 0 ? nullptr : banks_[s]->sketch();
+    const BankSketch* sketch =
+        windows == 0 ? nullptr : db.banks[s]->sketch();
     if (sketch == nullptr || sketch->may_match(plan, windows))
       selected.push_back(s);
   }
@@ -113,18 +358,22 @@ std::vector<std::uint32_t> ShardedAccelerator::probe_shards(
 }
 
 QueryResult ShardedAccelerator::merge_subset(
-    const std::vector<QueryResult>& partials,
+    const DbEpoch& db, const std::vector<QueryResult>& partials,
     const std::vector<std::uint32_t>& shard_ids) const {
   QueryResult merged;
   merged.plan = partials.front().plan;
-  merged.decisions.assign(segments_loaded_, false);
+  merged.decisions.assign(db.id_space, false);
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(config_.segment_base);
   for (std::size_t j = 0; j < shard_ids.size(); ++j) {
     const QueryResult& part = partials[j];
-    const std::size_t base = bases_[shard_ids[j]];
-    for (std::size_t g = 0; g < part.decisions.size(); ++g)
-      merged.decisions[base + g] = part.decisions[g];
-    for (const std::size_t local : part.matched_segments)
-      merged.matched_segments.push_back(base + local);
+    // Bank results are slot-indexed: scatter them into the global id
+    // space through the bank's directory (ids are disjoint across banks).
+    const LiveDirectory& dir = db.banks[shard_ids[j]]->directory();
+    for (std::size_t slot = 0; slot < part.decisions.size(); ++slot)
+      if (part.decisions[slot])
+        merged.decisions[static_cast<std::size_t>(dir.ids[slot] - base)] =
+            true;
     // Banks search in parallel: a pass completes when the slowest bank
     // does; energy is spent in every dispatched bank (ascending shard
     // order keeps the floating-point summation deterministic).
@@ -132,18 +381,21 @@ QueryResult ShardedAccelerator::merge_subset(
         std::max(merged.latency_seconds, part.latency_seconds);
     merged.energy_joules += part.energy_joules;
   }
+  for (std::size_t g = 0; g < merged.decisions.size(); ++g)
+    if (merged.decisions[g]) merged.matched_segments.push_back(g);
   return merged;
 }
 
-QueryResult ShardedAccelerator::empty_result(const ExecutionPlan& plan) const {
+QueryResult ShardedAccelerator::empty_result(const DbEpoch& db,
+                                             const ExecutionPlan& plan) const {
   QueryResult result;
   result.plan = plan.summary;
-  result.decisions.assign(segments_loaded_, false);
+  result.decisions.assign(db.id_space, false);
   // Pass latency is a pure function of the plan's operation count (see
   // TimingModel), so an all-pruned read reports the same latency a full
   // fan-out would — the bit-identity contract covers latency too.
-  result.latency_seconds = banks_.front()->timing().asmcap_query_latency(
-      plan.summary.total_searches());
+  result.latency_seconds =
+      timing_.asmcap_query_latency(plan.summary.total_searches());
   return result;
 }
 
@@ -154,6 +406,10 @@ QueryResult ShardedAccelerator::search(const Sequence& read,
   check_loaded();
   if (read.size() != config_.array_cols)
     throw std::invalid_argument("ShardedAccelerator: read width mismatch");
+
+  // Snapshot the epoch once: the whole query — probe, fan-out, merge —
+  // runs against it even if (illegally) interleaved with a mutation.
+  const std::shared_ptr<const DbEpoch> db = db_;
 
   // Identical stream evolution to AsmcapAccelerator::search — the N == 1
   // bit-identity anchor. The master stream advances BEFORE the sketch
@@ -167,22 +423,22 @@ QueryResult ShardedAccelerator::search(const Sequence& read,
       controller_.planner().build(read, threshold, rates_, mode);
   const Rng query_rng = rng_.fork(rng_.next());
 
-  const std::vector<std::uint32_t> selected = probe_shards(plan);
+  const std::vector<std::uint32_t> selected = probe_shards(*db, plan);
   QueryResult result;
   if (selected.empty()) {
-    result = empty_result(plan);
+    result = empty_result(*db, plan);
   } else {
     std::vector<QueryResult> partials(selected.size());
     worker_pool(workers).parallel_for(selected.size(), [&](std::size_t j) {
-      partials[j] = banks_[selected[j]]->execute(plan, query_rng);
+      partials[j] = db->banks[selected[j]]->execute(plan, query_rng);
     });
-    result = merge_subset(partials, selected);
+    result = merge_subset(*db, partials, selected);
   }
   controller_.record(result.plan, result.latency_seconds,
                      result.energy_joules);
   if (config_.pruning.enabled)
     controller_.record_pruning(selected.size(),
-                               active_shards_ - selected.size());
+                               db->banks.size() - selected.size());
   return result;
 }
 

@@ -26,6 +26,44 @@ BankSketch::BankSketch(const std::vector<Sequence>& segments,
   }
 }
 
+BankSketch::BankSketch(std::size_t cols) : cols_(cols) {
+  if (cols_ == 0) throw std::invalid_argument("BankSketch: zero columns");
+}
+
+void BankSketch::ensure_rows(std::size_t rows) {
+  const std::size_t need = (rows + 63) / 64;
+  if (need > words_) {
+    // Re-stride: each (column, base) bitset keeps its words, padded with
+    // zeros for the new rows.
+    std::vector<std::uint64_t> grown(cols_ * 4 * need, 0);
+    for (std::size_t set = 0; set < cols_ * 4; ++set)
+      for (std::size_t w = 0; w < words_; ++w)
+        grown[set * need + w] = occ_[set * words_ + w];
+    occ_ = std::move(grown);
+    words_ = need;
+  }
+  if (rows > rows_) rows_ = rows;
+}
+
+void BankSketch::set_row(std::size_t r, const Sequence& row) {
+  if (row.size() != cols_)
+    throw std::invalid_argument("BankSketch: segment width mismatch");
+  ensure_rows(r + 1);
+  const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::uint8_t code = 0; code < 4; ++code)
+      occ_[(i * 4 + code) * words_ + (r >> 6)] &= ~bit;
+    occ_[(i * 4 + code_of(row[i])) * words_ + (r >> 6)] |= bit;
+  }
+}
+
+void BankSketch::clear_row(std::size_t r) {
+  if (r >= rows_) return;
+  const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+  for (std::size_t set = 0; set < cols_ * 4; ++set)
+    occ_[set * words_ + (r >> 6)] &= ~bit;
+}
+
 bool BankSketch::window_alive(const Sequence& read, std::size_t lo,
                               std::size_t hi,
                               std::vector<std::uint64_t>& alive) const {

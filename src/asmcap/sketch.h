@@ -41,9 +41,12 @@
 // reference content. Probe cost: <= K windows x window width word-ANDs
 // with early exit, orders of magnitude below one backend pass.
 //
-// Thread-safety: immutable after construction; may_match is const,
-// touches no shared mutable state, and is safe to call concurrently from
-// router control threads and service workers.
+// Thread-safety: may_match is const, touches no shared mutable state, and
+// is safe to call concurrently from router control threads and service
+// workers. The live-database mutators (set_row / clear_row) are
+// control-plane only and never run against a sketch with probes in
+// flight: the sharded router mutates bank CLONES and publishes them as a
+// new epoch, so in-flight tickets probe immutable snapshots.
 
 #include <cstddef>
 #include <cstdint>
@@ -63,6 +66,20 @@ class BankSketch {
   /// exactly `cols` wide — the fixed array width).
   BankSketch(const std::vector<Sequence>& segments, std::size_t cols);
 
+  /// Empty sketch of a live bank: rows are added by set_row as segments
+  /// are appended.
+  explicit BankSketch(std::size_t cols);
+
+  /// (Re)writes row r's occurrence bits (live-database append / slot
+  /// reuse), growing the bitsets as needed. Any stale bits of a previous
+  /// occupant are cleared first.
+  void set_row(std::size_t r, const Sequence& row);
+
+  /// Clears row r in every column (tombstone delete): the row is dead in
+  /// every window, so it can never keep a bank alive — the sketch stays
+  /// sound and exactly consistent with the masked decision paths.
+  void clear_row(std::size_t r);
+
   /// True unless the bank provably contains no row that can decide
   /// 'match' for any pass of `plan` under `windows` disjoint pigeonhole
   /// windows (from pruning_window_count). windows == 0 — "cannot prune" —
@@ -77,6 +94,7 @@ class BankSketch {
   }
 
  private:
+  void ensure_rows(std::size_t rows);
   bool window_alive(const Sequence& read, std::size_t lo, std::size_t hi,
                     std::vector<std::uint64_t>& alive) const;
   const std::uint64_t* occ(std::size_t col, std::uint8_t code) const {

@@ -20,6 +20,15 @@ ChargeArrayReadout::ChargeArrayReadout(std::size_t rows, std::size_t cols,
   }
 }
 
+void ChargeArrayReadout::remanufacture_row(std::size_t row, Rng& rng) {
+  if (row >= rows())
+    throw std::out_of_range("ChargeArrayReadout::remanufacture_row");
+  // Same draw order as construction: matchline capacitors, then the
+  // residual SA offset.
+  matchlines_[row] = ChargeMatchline(cols_, params_, rng);
+  row_offsets_[row] = rng.normal(0.0, params_.sa_offset_sigma);
+}
+
 double ChargeArrayReadout::settle_row(std::size_t row,
                                       const BitVec& mask) const {
   if (row >= rows()) throw std::out_of_range("ChargeArrayReadout::settle_row");

@@ -26,6 +26,14 @@ class ChargeArrayReadout {
   ChargeArrayReadout(std::size_t rows, std::size_t cols,
                      const ChargeDomainParams& params, Rng& manufacture_rng);
 
+  /// Re-manufactures ONE row's analog silicon (capacitor mismatch + the
+  /// systematic SA offset) from `rng`. The live-database write path keys
+  /// `rng` by the occupant segment's global id, which makes every noisy
+  /// decision a pure function of (silicon seed, global segment id, query
+  /// stream) — independent of which row, array, or bank the segment
+  /// landed in (docs/determinism.md rule 8).
+  void remanufacture_row(std::size_t row, Rng& rng);
+
   /// Senses every row against threshold T: match iff V_ML <= V_ref(T).
   /// `search_rng` supplies the per-decision SA noise. Accumulates energy.
   std::vector<RowDecision> sense(const std::vector<BitVec>& masks,

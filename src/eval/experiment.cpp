@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "asmcap/db_error.h"
 #include "asmcap/hdac.h"
 #include "asmcap/sharded.h"
 #include "asmcap/tasr.h"
@@ -45,7 +46,8 @@ Fig7Series Fig7Runner::run(const Dataset& dataset,
   if (config_.shards == 0) throw std::invalid_argument("Fig7Runner: 0 shards");
   if (dataset.rows.size() >
       config_.shards * config_.asmcap.capacity_segments())
-    throw std::length_error(
+    throw DbError(
+        DbErrorKind::CapacityExceeded,
         "Fig7Runner: dataset rows exceed the sharded capacity (raise "
         "Fig7Config::shards)");
   const std::size_t ed_cap =
@@ -270,6 +272,59 @@ ShardedComparisonResult run_sharded_comparison(
                      cmcpu.joules_per_read(config.bank.array_cols,
                                            dataset.rows.size(),
                                            config.threshold);
+
+  // Live-mutation arm: tombstone a contamination block mid-run, verify
+  // the surviving rows' accuracy is untouched, re-insert the block under
+  // fresh ids, verify again, and compact the staging bank away. Exercises
+  // the epoch-snapshotted database through the full evaluation pipeline.
+  if (config.live_mutation && !reads.empty()) {
+    const std::size_t total = dataset.rows.size();
+    const std::size_t block = std::min(config.live_block, total - 1);
+    const std::uint64_t base = config.bank.segment_base;
+    out.live_deleted = block;
+    out.live_dead_rows_silent = true;
+
+    std::vector<std::uint64_t> doomed(block);
+    for (std::size_t i = 0; i < block; ++i)
+      doomed[i] = base + static_cast<std::uint64_t>(total - block + i);
+    accel.remove_segments(doomed);
+
+    ConfusionMatrix cm_del;
+    const std::vector<QueryResult> after_delete = accel.search_batch(
+        reads, config.threshold, config.mode, config.workers);
+    for (std::size_t q = 0; q < reads.size(); ++q) {
+      for (std::size_t i = 0; i < total - block; ++i)
+        cm_del.add(after_delete[q].decisions[i], truth[q][i]);
+      for (std::size_t i = total - block; i < total; ++i)
+        if (after_delete[q].decisions[i]) out.live_dead_rows_silent = false;
+    }
+    out.live_f1_after_delete = cm_del.f1();
+
+    // Re-insert the same contamination rows; they land in the hot staging
+    // bank under fresh ids at the tail of the id space.
+    std::vector<Sequence> block_rows(dataset.rows.end() - block,
+                                     dataset.rows.end());
+    const std::vector<std::uint64_t> fresh =
+        accel.append_segments(block_rows);
+
+    ConfusionMatrix cm_re;
+    const std::vector<QueryResult> after_reinsert = accel.search_batch(
+        reads, config.threshold, config.mode, config.workers);
+    for (std::size_t q = 0; q < reads.size(); ++q) {
+      for (std::size_t i = 0; i < total - block; ++i)
+        cm_re.add(after_reinsert[q].decisions[i], truth[q][i]);
+      for (std::size_t i = total - block; i < total; ++i)
+        if (after_reinsert[q].decisions[i]) out.live_dead_rows_silent = false;
+      for (std::size_t k = 0; k < fresh.size(); ++k)
+        cm_re.add(after_reinsert[q]
+                      .decisions[static_cast<std::size_t>(fresh[k] - base)],
+                  truth[q][total - block + k]);
+    }
+    out.live_f1_after_reinsert = cm_re.f1();
+
+    accel.compact();
+    out.live_final_epoch = accel.epoch();
+  }
   return out;
 }
 

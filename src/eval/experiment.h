@@ -103,6 +103,14 @@ struct ShardedComparisonConfig {
   /// how a real deployment would run, so the reported ASMCap energy stays
   /// honest instead of charging every bank for every read.
   bool prune_shards = true;
+  /// Live-mutation arm: after the frozen comparison, delete the LAST
+  /// `live_block` reference rows (a contamination block), re-query, then
+  /// re-insert the same rows under fresh ids, re-query again, and compact.
+  /// Accuracy over the live rows must be unharmed at every step — this is
+  /// the end-to-end exercise of the epoch-snapshotted database under the
+  /// full evaluation pipeline. Fills the live_* result fields.
+  bool live_mutation = false;
+  std::size_t live_block = 8;
 };
 
 struct ShardedComparisonResult {
@@ -130,10 +138,17 @@ struct ShardedComparisonResult {
   /// the work itself, Fig. 8's normalisation subject).
   double cmcpu_seconds = 0.0;
   double cmcpu_joules = 0.0;
+  /// Live-mutation arm (config.live_mutation; zero / false otherwise).
+  std::size_t live_deleted = 0;     ///< Rows tombstoned then re-inserted.
+  double live_f1_after_delete = 0.0;    ///< F1 over the surviving rows.
+  double live_f1_after_reinsert = 0.0;  ///< F1 incl. the re-inserted rows.
+  bool live_dead_rows_silent = false;  ///< No dead row ever matched.
+  std::uint64_t live_final_epoch = 0;  ///< Epoch number after compact().
 };
 
 /// Runs the comparison on a dataset whose rows may span several banks.
-/// Throws std::length_error when the rows exceed the sharded capacity.
+/// Throws DbError(CapacityExceeded) when the rows exceed the sharded
+/// capacity.
 ShardedComparisonResult run_sharded_comparison(
     const ShardedComparisonConfig& config, const Dataset& dataset);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "align/edstar.h"
+#include "asmcap/db_error.h"
 #include "genome/edits.h"
 #include "genome/reference.h"
 
@@ -42,7 +43,12 @@ TEST_F(AcceleratorTest, CapacityOverflowThrows) {
   AsmcapConfig config = small_config();
   config.array_count = 1;  // 16 rows only
   AsmcapAccelerator accel(config);
-  EXPECT_THROW(accel.load_reference(segments_), std::length_error);
+  try {
+    accel.load_reference(segments_);
+    FAIL() << "expected DbError";
+  } catch (const DbError& error) {
+    EXPECT_EQ(error.kind(), DbErrorKind::CapacityExceeded);
+  }
 }
 
 TEST_F(AcceleratorTest, SearchBeforeLoadThrows) {

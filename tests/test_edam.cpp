@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "align/edstar.h"
+#include "asmcap/db_error.h"
 #include "genome/reference.h"
 
 namespace asmcap {
@@ -62,7 +63,12 @@ TEST_F(EdamTest, LoadValidation) {
   EdamConfig tiny = small_edam();
   tiny.array_count = 1;
   EdamAccelerator small(tiny);
-  EXPECT_THROW(small.load_reference(segments_), std::length_error);
+  try {
+    small.load_reference(segments_);
+    FAIL() << "expected DbError";
+  } catch (const DbError& error) {
+    EXPECT_EQ(error.kind(), DbErrorKind::CapacityExceeded);
+  }
 }
 
 TEST_F(EdamTest, IdealDecisionsEqualEdStar) {

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "asmcap/db_error.h"
 #include "asmcap/readmapper.h"
 #include "asmcap/sharded.h"
 #include "eval/experiment.h"
@@ -219,7 +220,7 @@ TEST_F(ShardedTest, ShardingExtendsCapacityPastOneBank) {
   // Bank capacity 2 x 16 = 32 < 40 segments: the monolithic accelerator
   // rejects the database, two shards hold it.
   AsmcapAccelerator mono(bank_config(2));
-  EXPECT_THROW(mono.load_reference(segments_), std::length_error);
+  EXPECT_THROW(mono.load_reference(segments_), DbError);
 
   ShardedAccelerator sharded(bank_config(2), 2);
   EXPECT_EQ(sharded.capacity_segments(), 64u);
@@ -268,7 +269,12 @@ TEST_F(ShardedTest, Validation) {
                std::logic_error);
   std::vector<Sequence> too_many(segments_);
   for (int i = 0; i < 30; ++i) too_many.push_back(segments_[0]);
-  EXPECT_THROW(accel.load_reference(too_many), std::length_error);
+  try {
+    accel.load_reference(too_many);
+    FAIL() << "expected DbError";
+  } catch (const DbError& error) {
+    EXPECT_EQ(error.kind(), DbErrorKind::CapacityExceeded);
+  }
   accel.load_reference(segments_);
   EXPECT_THROW(accel.load_reference(segments_), std::logic_error);
   EXPECT_TRUE(accel.search_batch({}, 2, StrategyMode::Baseline, 2).empty());
@@ -327,6 +333,8 @@ TEST_F(ShardedTest, ShardedComparisonRunsOnMultiBankDatabase) {
   config.threshold = 4;
   config.workers = 2;
   config.kraken.k = 16;
+  config.live_mutation = true;  // delete / re-insert a tail block mid-run
+  config.live_block = 8;
   const ShardedComparisonResult result =
       run_sharded_comparison(config, dataset);
   EXPECT_EQ(result.segments, 40u);
@@ -336,9 +344,18 @@ TEST_F(ShardedTest, ShardedComparisonRunsOnMultiBankDatabase) {
   EXPECT_GT(result.accel_energy_joules, 0.0);
   EXPECT_GT(result.cmcpu_seconds, 0.0);
 
+  // Live-mutation arm: deleting a contamination block must not harm the
+  // surviving rows' accuracy, no tombstoned row may ever match, and the
+  // re-inserted rows must classify as well as they did before deletion.
+  EXPECT_EQ(result.live_deleted, 8u);
+  EXPECT_TRUE(result.live_dead_rows_silent);
+  EXPECT_GT(result.live_f1_after_delete, 0.8);
+  EXPECT_GE(result.live_f1_after_reinsert, result.asmcap_f1 - 1e-12);
+  EXPECT_GT(result.live_final_epoch, 1u);
+
   // One bank cannot hold the dataset: the capacity check must fire.
   config.shards = 1;
-  EXPECT_THROW(run_sharded_comparison(config, dataset), std::length_error);
+  EXPECT_THROW(run_sharded_comparison(config, dataset), DbError);
 }
 
 TEST_F(ShardedTest, Fig7RunnerEnforcesShardedCapacity) {
@@ -349,7 +366,7 @@ TEST_F(ShardedTest, Fig7RunnerEnforcesShardedCapacity) {
   config.asmcap = bank_config(2);  // capacity 32 < 40 rows
   config.shards = 1;
   Rng rng(1205);
-  EXPECT_THROW(Fig7Runner(config).run(dataset, {4}, rng), std::length_error);
+  EXPECT_THROW(Fig7Runner(config).run(dataset, {4}, rng), DbError);
 }
 
 }  // namespace

@@ -32,6 +32,7 @@ done
 # ----------------------------------------------- header doc-block check --
 headers="
 src/asmcap/accelerator.h
+src/asmcap/db_error.h
 src/asmcap/sketch.h
 src/asmcap/sharded.h
 src/asmcap/readmapper.h
