@@ -15,6 +15,19 @@
 // doubles as a service correctness check; CI runs it under ASan/UBSan
 // with a tiny database.
 //
+// A third, mixed-traffic arm models the production tier: a bulk
+// re-analysis batch with a small interactive request arriving right
+// behind it. The FIFO sub-arm makes the latecomer wait for the whole
+// bulk run (head-of-line blocking); the prioritized sub-arm submits both
+// concurrently with ServiceClass::Bulk vs ::Interactive, letting the
+// fair-share scheduler and the pool's priority queues pull the
+// interactive reads ahead. Per-read digests between the sub-arms must be
+// bit-identical (scheduling never changes decisions); the per-class
+// completion-latency percentiles (measured from the interactive
+// ARRIVAL, the same instant in both sub-arms) are emitted as JSON
+// metrics, and tools/check_bench.py gates mixed_digest_matches == 1 and
+// interactive_p99_speedup against bench/baseline.json.
+//
 //   ./bench_service [reads] [segments] [chunk] [workers] [shards] [floor]
 //                   [--json <path>]
 //
@@ -42,6 +55,8 @@
 #include "genome/readsim.h"
 #include "genome/reference.h"
 #include "util/bench_json.h"
+#include "util/clock.h"
+#include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -174,11 +189,110 @@ int main(int argc, char** argv) {
   for (const auto& ticket : tickets) ticket->wait();
   const double stream_seconds = seconds_since(stream_start);
 
+  // --- Mixed-traffic arm: bulk re-analysis vs an interactive latecomer. --
+  // Identical read streams for both sub-arms: the bulk batch replays the
+  // full workload, the interactive batch continues the same RNG stream
+  // for one more chunk. Each sub-arm gets a fresh twin accelerator, so
+  // epochs line up (bulk = 1, interactive = 2) and digests are directly
+  // comparable.
+  const std::size_t n_interactive = chunk;
+  std::vector<Sequence> bulk_reads;
+  std::vector<Sequence> interactive_reads;
+  {
+    Rng mixed_rng(0xD1'6E57);
+    for (std::size_t c = 0; c < n_chunks; ++c)
+      for (Sequence& read : produce(c, mixed_rng))
+        bulk_reads.push_back(std::move(read));
+    for (std::size_t i = 0; i < n_interactive; ++i)
+      interactive_reads.push_back(
+          simulator
+              .simulate_at(mixed_rng.below(n_segments) * bank.array_cols,
+                           mixed_rng)
+              .read);
+  }
+  struct MixedArm {
+    std::vector<std::uint64_t> digests;  ///< bulk reads, then interactive.
+    /// Per-interactive-read completion latency measured from the
+    /// interactive ARRIVAL instant (right behind the bulk submission) —
+    /// the latency a waiting client actually experiences.
+    std::vector<double> interactive_latency;
+    std::vector<double> bulk_latency;  ///< Same, from the bulk submission.
+    double wall_seconds = 0.0;
+    std::size_t window_overruns = 0;
+  };
+  const auto run_mixed = [&](bool prioritized) {
+    MixedArm arm;
+    arm.digests.assign(bulk_reads.size() + interactive_reads.size(), 0);
+    ShardedAccelerator accel(bank, shards);
+    accel.load_reference(segments);
+    accel.set_error_profile(sim_config.rates);
+    SearchService::Config config;
+    config.max_in_flight_reads = 2 * workers;
+    SearchService service(accel, config);
+    SearchService::Options options;
+    options.workers = workers;
+    options.keep_results = false;
+    const auto digest_into = [&arm](std::size_t base) {
+      return [&arm, base](std::size_t i, const QueryResult& result) {
+        arm.digests[base + i] = digest(result);
+      };
+    };
+    const auto start = Clock::now();
+    options.service_class =
+        prioritized ? ServiceClass::Bulk : ServiceClass::Normal;
+    options.on_complete = digest_into(0);
+    auto bulk_ticket =
+        service.submit(bulk_reads, threshold, StrategyMode::Full, options);
+    // The interactive request arrives NOW, in both sub-arms; only the
+    // prioritized one may act on it before the bulk queue drains.
+    const double arrival = steady_service_clock().now();
+    options.service_class =
+        prioritized ? ServiceClass::Interactive : ServiceClass::Normal;
+    options.on_complete = digest_into(bulk_reads.size());
+    std::shared_ptr<SearchTicket> interactive_ticket;
+    if (prioritized) {
+      interactive_ticket = service.submit(interactive_reads, threshold,
+                                          StrategyMode::Full, options);
+      bulk_ticket->wait();
+    } else {
+      bulk_ticket->wait();  // head-of-line blocking: FIFO serves bulk first
+      interactive_ticket = service.submit(interactive_reads, threshold,
+                                          StrategyMode::Full, options);
+    }
+    interactive_ticket->wait();
+    arm.wall_seconds = seconds_since(start);
+    for (const ReadTiming& t : interactive_ticket->read_timings())
+      arm.interactive_latency.push_back(t.merged - arrival);
+    const double bulk_submitted = bulk_ticket->read_timings().empty()
+                                      ? 0.0
+                                      : bulk_ticket->read_timings()[0].submitted;
+    for (const ReadTiming& t : bulk_ticket->read_timings())
+      arm.bulk_latency.push_back(t.merged - bulk_submitted);
+    for (const auto& ticket : {bulk_ticket, interactive_ticket})
+      if (ticket->peak_in_flight() > ticket->max_in_flight())
+        ++arm.window_overruns;
+    return arm;
+  };
+  const MixedArm fifo_arm = run_mixed(false);
+  const MixedArm priority_arm = run_mixed(true);
+
+  std::size_t mixed_divergent = 0;
+  for (std::size_t i = 0; i < fifo_arm.digests.size(); ++i)
+    if (fifo_arm.digests[i] != priority_arm.digests[i]) ++mixed_divergent;
+  const auto p99 = [](const std::vector<double>& xs) {
+    return percentile_of(xs, 0.99);
+  };
+  const double fifo_p99 = p99(fifo_arm.interactive_latency);
+  const double priority_p99 = p99(priority_arm.interactive_latency);
+  const double interactive_speedup =
+      priority_p99 > 0.0 ? fifo_p99 / priority_p99 : 0.0;
+
   // --- Correctness: identical digests, bounded in-flight staging. --------
   std::size_t divergent = 0;
   for (std::size_t i = 0; i < n_reads; ++i)
     if (sync_digest[i] != stream_digest[i]) ++divergent;
-  std::size_t overrun = 0;
+  std::size_t overrun =
+      fifo_arm.window_overruns + priority_arm.window_overruns;
   for (const auto& ticket : tickets)
     if (ticket->peak_in_flight() > ticket->max_in_flight()) ++overrun;
 
@@ -192,13 +306,29 @@ int main(int argc, char** argv) {
       .add_cell("streaming: produce || execute")
       .add_cell(format_si(stream_seconds, "s"))
       .add_cell(format_si(static_cast<double>(n_reads) / stream_seconds, ""));
+  const std::size_t n_mixed = bulk_reads.size() + interactive_reads.size();
+  table.new_row()
+      .add_cell("mixed traffic: FIFO service")
+      .add_cell(format_si(fifo_arm.wall_seconds, "s"))
+      .add_cell(format_si(static_cast<double>(n_mixed) / fifo_arm.wall_seconds,
+                          ""));
+  table.new_row()
+      .add_cell("mixed traffic: prioritized service")
+      .add_cell(format_si(priority_arm.wall_seconds, "s"))
+      .add_cell(format_si(
+          static_cast<double>(n_mixed) / priority_arm.wall_seconds, ""));
   table.print(std::cout);
 
   std::printf(
       "\noverlap speedup: %.2fx, digests identical on %zu/%zu reads, "
       "in-flight window respected on %zu/%zu tickets\n",
-      speedup, n_reads - divergent, n_reads, tickets.size() - overrun,
-      tickets.size());
+      speedup, n_reads - divergent, n_reads,
+      tickets.size() + 4 - overrun, tickets.size() + 4);
+  std::printf(
+      "mixed traffic: digests identical on %zu/%zu reads, interactive "
+      "completion p99 %.2fms FIFO vs %.2fms prioritized (%.2fx)\n",
+      n_mixed - mixed_divergent, n_mixed, fifo_p99 * 1e3, priority_p99 * 1e3,
+      interactive_speedup);
 
   const bool floor_active = enforce_floor && workers >= 2 &&
                             ThreadPool::hardware_workers() >= workers + 1;
@@ -219,7 +349,29 @@ int main(int argc, char** argv) {
     report.timings = {{"synchronous-pipeline", sync_seconds,
                        static_cast<double>(n_reads) / sync_seconds},
                       {"streaming-pipeline", stream_seconds,
-                       static_cast<double>(n_reads) / stream_seconds}};
+                       static_cast<double>(n_reads) / stream_seconds},
+                      {"mixed-fifo", fifo_arm.wall_seconds,
+                       static_cast<double>(n_mixed) / fifo_arm.wall_seconds},
+                      {"mixed-prioritized", priority_arm.wall_seconds,
+                       static_cast<double>(n_mixed) /
+                           priority_arm.wall_seconds}};
+    // Structural gates (baseline-bounded): digest equality between the
+    // mixed sub-arms, and the interactive head-of-line p99 win. The rest
+    // are observability (ungated, but recorded for trend diffing).
+    report.metrics = {
+        {"mixed_digest_matches", mixed_divergent == 0 ? 1.0 : 0.0},
+        {"interactive_p99_speedup", interactive_speedup},
+        {"fifo_interactive_p50_seconds",
+         percentile_of(fifo_arm.interactive_latency, 0.50)},
+        {"fifo_interactive_p95_seconds",
+         percentile_of(fifo_arm.interactive_latency, 0.95)},
+        {"fifo_interactive_p99_seconds", fifo_p99},
+        {"priority_interactive_p50_seconds",
+         percentile_of(priority_arm.interactive_latency, 0.50)},
+        {"priority_interactive_p95_seconds",
+         percentile_of(priority_arm.interactive_latency, 0.95)},
+        {"priority_interactive_p99_seconds", priority_p99},
+        {"priority_bulk_p99_seconds", p99(priority_arm.bulk_latency)}};
     report.speedup = speedup;
     report.decision_digest = combined.value();
     report.floor_enforced = floor_active;
@@ -229,6 +381,13 @@ int main(int argc, char** argv) {
   if (divergent != 0) {
     std::fprintf(stderr, "FAIL: %zu reads diverged between pipelines\n",
                  divergent);
+    return 1;
+  }
+  if (mixed_divergent != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu reads diverged between the FIFO and prioritized "
+                 "mixed-traffic arms — scheduling changed decisions\n",
+                 mixed_divergent);
     return 1;
   }
   if (overrun != 0) {

@@ -22,6 +22,37 @@
 // already global). Admission is throttled, so an arbitrarily large
 // submission never materialises more than max_in_flight staging buffers.
 //
+// THE SERVICE TIER (scheduling, deadlines, cancellation). Admission is no
+// longer a per-ticket free-for-all: every SearchService owns a
+// ServiceScheduler that grants reads to tickets one at a time, under
+//
+//  * priority classes — ServiceOptions::service_class picks Interactive /
+//    Normal / Bulk; grants follow weighted fair-share (stride scheduling
+//    over ServiceConfig::class_weights), so a small interactive ticket
+//    overtakes a bulk re-analysis instead of queueing behind it, while
+//    positive weights guarantee bulk work is never starved. Each class
+//    also maps to a pool TaskPriority, so granted interactive tasks jump
+//    the pool queue too.
+//  * a global in-flight budget — ServiceConfig::max_in_flight_reads caps
+//    reads executing across ALL tickets of the service (0 = unlimited;
+//    per-ticket max_in_flight still applies independently).
+//  * bounded-queue admission — ServiceConfig::max_pending_reads bounds
+//    reads accepted but not yet granted; submit() blocks for space,
+//    try_submit() fails fast with ServiceError{AdmissionFull}.
+//  * deadlines and cancellation — ServiceOptions::deadline_seconds and
+//    SearchTicket::cancel() stop a ticket COOPERATIVELY: checked between
+//    per-read/per-shard tasks, never mid-kernel. Reads already merged
+//    stay Done; everything else reaches a Cancelled/Expired terminal
+//    state, frees its staging, returns its admission slots, and books
+//    nothing in the ledger (no phantom energy). The ticket's state()
+//    reports Cancelled/Expired distinct from Done, and wait() still
+//    returns normally so the Done prefix can be consumed.
+//  * per-ticket observability — every read records queue-wait /
+//    execution / merge timestamps from an injectable ServiceClock
+//    (util/clock.h; virtual in tests, steady in production), and
+//    stats() aggregates p50/p95/p99 latency and energy percentiles into
+//    TicketStats once the ticket is terminal.
+//
 // With shard pruning enabled (config.pruning.enabled), each read's
 // fan-out covers only its probe-survivor shard set (ShardedAccelerator::
 // probe_shards): staging buffers shrink to the survivors, a read every
@@ -44,55 +75,214 @@
 //                order (what ShardedAccelerator::search_batch now does).
 //
 // Determinism: decisions are BIT-IDENTICAL to the synchronous
-// search_batch path (enforced by tests/test_service.cpp). Each read's RNG
-// stream is the same deterministic function of (router master stream,
-// batch epoch, read index) the synchronous engine uses, and per-read
-// merging preserves the shard summation order, so neither completion
-// order, worker count, nor in-flight depth can perturb decisions, energy,
-// latency, or the ledger. See docs/determinism.md.
+// search_batch path (enforced by tests/test_service.cpp and
+// tests/test_scheduler.cpp). Each read's RNG stream is the same
+// deterministic function of (router master stream, batch epoch, read
+// index) the synchronous engine uses, and per-read merging preserves the
+// shard summation order, so neither completion order, worker count,
+// in-flight depth, priority class, nor any cancel/deadline schedule can
+// perturb a COMPLETED read's decisions, energy, latency, or ledger
+// record. Scheduling may reorder execution but never decisions;
+// cancellation only discards work whose RNG draws never escape the
+// ticket (docs/determinism.md rule 9).
 //
 // Ownership: SearchService borrows the ShardedAccelerator (non-owning);
 // tickets hold work that runs on the accelerator's session pool, so a
-// ticket must not outlive the accelerator. A ticket is kept alive by its
-// in-flight tasks — dropping the shared_ptr early is safe, but wait()/
-// drain() is the only way to observe errors and to flush the ledger.
+// ticket must not outlive the accelerator. The scheduler is shared
+// (shared_ptr) between the service and its tickets, so tickets outliving
+// the service stay safe. A ticket is kept alive by its in-flight tasks —
+// dropping the shared_ptr early is safe, but wait()/drain() is the only
+// way to observe errors and to flush the ledger. The ServiceClock is
+// borrowed and must outlive the service and every ticket.
 // Thread-safety: the control plane (submit, wait, drain, and any other
 // search on the same accelerator) belongs to ONE thread at a time, like
-// every other accelerator entry point; ready()/result()/completed() may
-// be called from any thread while workers execute. The control thread MAY
-// interleave sequential search()/map() calls while a ticket is in flight:
-// each ticket forks its per-read streams from a snapshot of the master
-// RNG taken at submit (never from the live state), and worker_pool()
-// clamps growth while tickets are outstanding, so an interleaved search
-// neither races the ticket nor perturbs its decisions. on_complete fires on
-// worker threads (or inline on the submitting thread when the pool has no
-// spawned threads) and must be thread-safe for distinct reads; exceptions
-// it throws are captured and rethrown at wait(). Reentrancy: callbacks
-// must not call back into the accelerator's blocking entry points
-// (search/search_batch/parallel_for) — they run inside pool tasks.
+// every other accelerator entry point; ready()/result()/completed()/
+// state()/cancel() may be called from any thread while workers execute.
+// The control thread MAY interleave sequential search()/map() calls while
+// a ticket is in flight: each ticket forks its per-read streams from a
+// snapshot of the master RNG taken at submit (never from the live state),
+// and worker_pool() clamps growth while tickets are outstanding, so an
+// interleaved search neither races the ticket nor perturbs its decisions.
+// on_complete fires on worker threads (or inline on the submitting thread
+// when the pool has no spawned threads) and must be thread-safe for
+// distinct reads; exceptions it throws are captured and rethrown at
+// wait(). Reentrancy: callbacks must not call back into the accelerator's
+// blocking entry points (search/search_batch/parallel_for) — they run
+// inside pool tasks.
 //
 // The ledger: totals for the whole submission are recorded at wait()
 // (which drain() calls), sequentially in read order — exactly the
-// synchronous batch's recording order.
+// synchronous batch's recording order. Only reads whose outcome is Done
+// are recorded: a cancelled or expired read never executed-and-merged, so
+// it books no latency and no energy.
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "asmcap/accelerator.h"
 #include "asmcap/planner.h"
+#include "asmcap/service_error.h"
 #include "asmcap/sharded.h"
 #include "genome/sequence.h"
+#include "util/clock.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace asmcap {
 
 class SearchService;
+class SearchTicket;
+
+/// Priority class of one submission. Classes shape WHEN work runs (grant
+/// order, pool queue priority) — never WHAT it computes.
+enum class ServiceClass : std::uint8_t { Interactive = 0, Normal = 1, Bulk = 2 };
+inline constexpr std::size_t kServiceClassCount = 3;
+
+/// Terminal state of a whole ticket. Running until every read is
+/// terminal; then Cancelled/Expired if the ticket was aborted (even if
+/// some reads completed first), else Done.
+enum class TicketState : std::uint8_t { Running, Done, Cancelled, Expired };
+
+/// Terminal state of one read within a ticket.
+enum class ReadOutcome : std::uint8_t {
+  Pending = 0,    ///< Not terminal yet.
+  Done = 1,       ///< Merged; result available, ledger-recorded at wait().
+  Cancelled = 2,  ///< Discarded by SearchTicket::cancel(); never booked.
+  Expired = 3,    ///< Discarded by the ticket's deadline; never booked.
+  Failed = 4,     ///< Threw during execution; wait() rethrows.
+};
+
+/// Per-read observability record (timestamps from the service's clock;
+/// 0 where a phase never ran — e.g. started stays 0 for a read cancelled
+/// before admission).
+struct ReadTiming {
+  ReadOutcome outcome = ReadOutcome::Pending;
+  /// Global admission sequence number across the whole service (1-based
+  /// grant order); 0 for reads that were never admitted.
+  std::uint64_t admit_seq = 0;
+  double submitted = 0.0;  ///< Ticket submit instant (same for all reads).
+  double started = 0.0;    ///< Read task began executing.
+  double executed = 0.0;   ///< Last shard finished executing.
+  double merged = 0.0;     ///< Merged / reached a terminal state.
+  double model_latency_seconds = 0.0;  ///< Deterministic model cost (Done).
+  double model_energy_joules = 0.0;    ///< Deterministic model cost (Done).
+};
+
+struct LatencyPercentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Aggregated per-ticket statistics (stats(); terminal tickets only).
+/// Wall-clock percentiles aggregate Done reads; model percentiles are the
+/// deterministic per-read model costs, so two runs of the same submission
+/// agree on them bit-for-bit regardless of scheduling.
+struct TicketStats {
+  std::size_t reads = 0;
+  std::size_t done = 0;
+  std::size_t cancelled = 0;
+  std::size_t expired = 0;
+  std::size_t failed = 0;
+  LatencyPercentiles queue_wait;   ///< started - submitted (wall clock).
+  LatencyPercentiles execution;    ///< executed - started (wall clock).
+  LatencyPercentiles merge;        ///< merged - executed (wall clock).
+  LatencyPercentiles completion;   ///< merged - submitted (wall clock).
+  LatencyPercentiles model_latency;  ///< Per-read model latency (s).
+  LatencyPercentiles model_energy;   ///< Per-read model energy (J).
+  double booked_latency_seconds = 0.0;  ///< Sum over Done reads — exactly
+  double booked_energy_joules = 0.0;    ///< what wait() ledger-records.
+};
+
+/// Service-wide scheduling policy (SearchService constructor argument).
+struct ServiceConfig {
+  /// Reads allowed in flight at once across ALL tickets of this service
+  /// (0 = unlimited — only the per-ticket max_in_flight throttles, which
+  /// reproduces the pre-scheduler behaviour bit-for-bit).
+  std::size_t max_in_flight_reads = 0;
+  /// Bound on reads accepted but not yet granted, across all tickets
+  /// (0 = unbounded). submit() blocks until the submission fits;
+  /// try_submit() throws ServiceError{AdmissionFull} instead. A single
+  /// submission larger than the bound can never fit and is rejected by
+  /// both (no deadlock-by-construction).
+  std::size_t max_pending_reads = 0;
+  /// Weighted fair share per ServiceClass (Interactive, Normal, Bulk).
+  /// Grants go to the queued class with the smallest stride-scheduling
+  /// pass value; weight w gets ~w/Σw of contended grants. All weights
+  /// must be >= 1 (ServiceError{InvalidOptions} otherwise) — a positive
+  /// weight is what makes starvation impossible.
+  std::array<std::uint32_t, kServiceClassCount> class_weights{16, 4, 1};
+  /// Time source for deadlines and the TicketStats timestamps. Borrowed;
+  /// nullptr = the process-wide SteadyClock. Tests inject a VirtualClock
+  /// to make deadline expiry and latency stats deterministic.
+  const ServiceClock* clock = nullptr;
+};
+
+/// Weighted fair-share admission engine shared by a SearchService and its
+/// tickets (via shared_ptr, so tickets may outlive the service). All
+/// policy state — per-class ticket queues, stride passes, the global
+/// in-flight budget, the bounded pending-read queue — lives behind one
+/// mutex; grants themselves (ticket->grant_one()) run OUTSIDE the lock.
+/// Thread-safety: every method may be called from any thread; reserve()
+/// may block (control plane) while workers retire reads and keep pumping.
+class ServiceScheduler {
+ public:
+  explicit ServiceScheduler(const ServiceConfig& config);
+
+  const ServiceConfig& config() const { return config_; }
+  const ServiceClock& clock() const { return *clock_; }
+
+  /// Accounts `reads` pending reads, enforcing max_pending_reads. With
+  /// block = true waits for space; returns false when the submission can
+  /// never or does not currently fit (caller turns that into a
+  /// ServiceError). Always returns true when the queue is unbounded.
+  bool reserve(std::size_t reads, bool block);
+
+  /// Queues a freshly launched ticket and starts granting.
+  void enlist(std::shared_ptr<SearchTicket> ticket);
+
+  /// A granted read retired: its global budget slot is free; the ticket
+  /// may be hungry for another grant.
+  void on_retire(const std::shared_ptr<SearchTicket>& ticket);
+
+  /// `reads` pending reads left the queue without being granted (a
+  /// cancel/deadline sweep claimed them).
+  void on_swept(std::size_t reads);
+
+  /// Observability (racy by nature; exact only when the service is idle).
+  std::size_t in_flight_reads() const;
+  std::size_t queued_reads() const;
+
+ private:
+  void enqueue_locked(const std::shared_ptr<SearchTicket>& ticket);
+  void pump();
+
+  const ServiceConfig config_;
+  const ServiceClock* clock_;
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;
+  /// Per-class FIFO of tickets wanting grants (deduplicated via the
+  /// ticket's sched_queued_ flag).
+  std::array<std::deque<std::shared_ptr<SearchTicket>>, kServiceClassCount>
+      queues_;
+  std::array<std::uint64_t, kServiceClassCount> pass_{};    ///< Stride passes.
+  std::array<std::uint64_t, kServiceClassCount> stride_{};  ///< K / weight.
+  std::uint64_t last_pass_ = 0;  ///< Pass of the latest grant (lag capping).
+  std::uint64_t admit_seq_ = 0;  ///< Global grant counter (1-based).
+  std::size_t free_slots_ = 0;   ///< Remaining global budget (if bounded).
+  std::size_t queued_ = 0;       ///< Reads accepted, not yet granted/swept.
+  std::size_t in_flight_ = 0;    ///< Reads granted, not yet retired.
+};
 
 /// Handle to one asynchronous submission. Created only by
 /// SearchService::submit; see the file comment for the threading contract.
@@ -101,28 +291,63 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
   /// Reads in this submission.
   std::size_t size() const { return slots_.size(); }
 
-  /// Reads merged so far (monotonic; completed() == size() once done).
+  /// Reads reaching a terminal state so far (Done, Cancelled, Expired, or
+  /// Failed; monotonic; completed() == size() once the ticket is done).
   std::size_t completed() const {
     return completed_.load(std::memory_order_acquire);
   }
   bool done() const { return completed() == slots_.size(); }
 
-  /// True once read `i` has merged and result(i) is available.
+  /// True once read `i` is terminal (Done or aborted) — check outcome(i)
+  /// before touching result(i).
   bool ready(std::size_t i) const;
+
+  /// Terminal state of read `i` (Pending while still in flight).
+  ReadOutcome outcome(std::size_t i) const;
+
+  /// Whole-ticket state: Running until every read is terminal, then
+  /// Cancelled/Expired if the ticket was aborted, else Done.
+  TicketState state() const {
+    if (completed() != slots_.size()) return TicketState::Running;
+    switch (terminal_cause_.load(std::memory_order_acquire)) {
+      case static_cast<std::uint8_t>(ReadOutcome::Cancelled):
+        return TicketState::Cancelled;
+      case static_cast<std::uint8_t>(ReadOutcome::Expired):
+        return TicketState::Expired;
+      default:
+        return TicketState::Done;
+    }
+  }
+
+  /// Requests cooperative cancellation, from any thread, idempotently.
+  /// Reads already merged stay Done; every other read reaches Cancelled
+  /// without executing further shards, frees its staging, returns its
+  /// admission slots, and books no energy. A no-op once the ticket is
+  /// already terminal. wait() still returns normally — poll outcome(i)
+  /// to see which reads completed.
+  void cancel();
 
   /// The merged result of read `i`. Throws std::logic_error if the read
   /// has not completed yet, if Options::keep_results was false, or after
-  /// drain() moved the results out.
+  /// drain() moved the results out; ServiceError{Cancelled/Expired} if
+  /// the read was discarded; std::logic_error if it failed (wait()
+  /// rethrows the underlying error).
   const QueryResult& result(std::size_t i) const;
 
-  /// Blocks until every read has merged, rethrows the first error (from
-  /// execution or from on_complete), then records the whole submission in
-  /// the accelerator's ledger in read order (once). Control-plane only.
+  /// Blocks until every read is terminal, rethrows the first error (from
+  /// execution or from on_complete), then records the submission's Done
+  /// reads in the accelerator's ledger in read order (once).
+  /// Control-plane only. Returns normally for cancelled/expired tickets.
   void wait();
 
   /// wait(), then moves all results out in read order. Control-plane
-  /// only; requires Options::keep_results (the default).
+  /// only; requires Options::keep_results (the default) and a fully Done
+  /// ticket — throws ServiceError{Cancelled/Expired} if the ticket was
+  /// aborted (poll result(i)/outcome(i) for the Done prefix instead).
   std::vector<QueryResult> drain();
+
+  /// Priority class this ticket was submitted under.
+  ServiceClass service_class() const { return class_; }
 
   /// Admission throttle this ticket runs under.
   std::size_t max_in_flight() const { return max_in_flight_; }
@@ -132,8 +357,25 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
     return peak_in_flight_.load(std::memory_order_acquire);
   }
 
+  /// Aggregated latency/energy percentiles and outcome counts. Terminal
+  /// tickets only — throws ServiceError{NotTerminal} while running.
+  TicketStats stats() const;
+
+  /// Per-read timing records (same terminal-only contract as stats()).
+  std::vector<ReadTiming> read_timings() const;
+
  private:
   friend class SearchService;
+  friend class ServiceScheduler;
+
+  /// Result of one scheduler grant attempt.
+  enum class Grant : std::uint8_t {
+    Launched,   ///< A read was claimed and its task submitted.
+    Aborted,    ///< A read was claimed but was cancelled/expired/failed
+                ///< before launching — it is terminal, no budget held.
+    Declined,   ///< Per-ticket window full; retry on the next retire.
+    Exhausted,  ///< No reads left to grant (all claimed or ticket aborted).
+  };
 
   /// Per-read state. `partials`/`shard_ids` exist only between admission
   /// and merge (and never exist when the router has a single active
@@ -152,8 +394,16 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
     QueryPlan ledger_plan;  ///< Kept for wait() after merged is released.
     double ledger_latency = 0.0;
     double ledger_energy = 0.0;
+    /// Timing observability (timestamps from the service clock). Written
+    /// only by the thread that owns the read's current task, published by
+    /// the ready release-store below.
+    std::uint64_t admit_seq = 0;
+    double t_started = 0.0;
+    double t_executed = 0.0;
+    double t_merged = 0.0;
+    std::atomic<std::uint8_t> outcome{
+        static_cast<std::uint8_t>(ReadOutcome::Pending)};
     std::atomic<bool> ready{false};
-    std::atomic<bool> failed{false};
     std::atomic<bool> retired{false};  ///< Admission budget returned.
   };
 
@@ -165,10 +415,15 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
                const std::vector<Sequence>* reads, std::size_t threshold,
                StrategyMode mode);
 
-  void admit_next();
+  Grant grant_one(std::uint64_t admit_seq);
+  bool sched_hungry() const;
+  bool past_deadline() const;
+  void abort_ticket(ReadOutcome cause);
+  void sweep_pending();
+  void abort_slot(std::size_t i, ReadOutcome cause, bool counts_in_flight);
   void run_read(std::size_t i);
   void run_shard(std::size_t i, std::size_t s);
-  void complete_read(std::size_t i);
+  void complete_read(std::size_t i, ReadOutcome outcome);
   void finish_one();
   void emit(std::size_t i);
   void retire(std::size_t i);
@@ -201,6 +456,20 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
   bool in_order_ = false;
   std::function<void(std::size_t, const QueryResult&)> on_complete_;
 
+  /// Scheduling state (set at launch). The scheduler is shared so the
+  /// ticket can return budget after the service is gone; the clock is
+  /// borrowed from it. deadline_ is an absolute clock instant (+inf =
+  /// none); terminal_cause_ is 0 until the first cancel()/expiry wins the
+  /// CAS (then the ReadOutcome cause, first writer wins).
+  std::shared_ptr<ServiceScheduler> sched_;
+  const ServiceClock* clock_ = nullptr;
+  ServiceClass class_ = ServiceClass::Normal;
+  TaskPriority task_priority_ = TaskPriority::Normal;
+  double submit_time_ = 0.0;
+  double deadline_ = std::numeric_limits<double>::infinity();
+  std::atomic<std::uint8_t> terminal_cause_{0};
+  std::atomic<bool> sched_queued_{false};  ///< In a scheduler queue now.
+
   std::vector<Slot> slots_;  ///< Sized once at submit; never reallocated.
   std::atomic<std::size_t> next_admit_{0};
   std::atomic<std::size_t> in_flight_{0};
@@ -210,6 +479,13 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
 
   std::mutex seq_mutex_;      ///< Re-sequencer state below.
   std::size_t next_emit_ = 0;
+  /// Thread currently inside the re-sequencer flush loop. A cancel or
+  /// deadline sweep triggered from WITHIN a delivery (a callback calling
+  /// cancel(), or a retire-driven grant expiring the ticket) re-enters
+  /// emit() on the same thread; since `ready` is already set, the outer
+  /// flush loop will deliver those reads — the re-entrant call just
+  /// returns instead of self-deadlocking on seq_mutex_.
+  std::atomic<std::thread::id> seq_owner_{};
 
   std::mutex error_mutex_;
   std::exception_ptr error_;
@@ -227,15 +503,27 @@ struct ServiceOptions {
   /// Admission throttle: reads allowed in flight at once (the
   /// partial-result memory bound). 0 = 2 x the pool's worker count.
   std::size_t max_in_flight = 0;
-  /// Streaming callback: fires once per read as it merges, with the
-  /// read's index within the submission and its merged result. Runs on
-  /// worker threads; see the file comment.
+  /// Priority class: grant order under contention (weighted fair share)
+  /// and pool queue priority. Never affects results.
+  ServiceClass service_class = ServiceClass::Normal;
+  /// Relative deadline from submit, in ServiceClock seconds (0 = none;
+  /// negative throws ServiceError{InvalidOptions}). When it passes, reads
+  /// not yet merged reach Expired cooperatively — checked between tasks,
+  /// never mid-kernel — and the whole ticket's state becomes Expired.
+  double deadline_seconds = 0.0;
+  /// Streaming callback: fires once per DONE read as it merges, with the
+  /// read's index within the submission and its merged result (skipped
+  /// for cancelled/expired/failed reads). Runs on worker threads; see the
+  /// file comment.
   std::function<void(std::size_t, const QueryResult&)> on_complete;
   /// Deliver on_complete in read order instead of arrival order (a
   /// re-sequencer holds early finishers; delivery is serialised). A read
   /// returns its admission slot at DELIVERY, so the held-back backlog —
   /// results merged early but waiting their turn — also stays within
-  /// max_in_flight rather than growing with the batch.
+  /// max_in_flight rather than growing with the batch. Aborted reads
+  /// pass through the re-sequencer like completed ones (marked ready,
+  /// no callback), so a cancelled read ahead of the head can never
+  /// wedge the window.
   bool in_order = false;
   /// Keep merged results for result()/drain(). Set false for pure
   /// streaming consumers: each result is released right after its
@@ -246,16 +534,23 @@ struct ServiceOptions {
 class SearchService {
  public:
   using Options = ServiceOptions;
+  using Config = ServiceConfig;
 
   /// Borrows `accelerator` (which must be loaded and must outlive the
-  /// service and every ticket).
-  explicit SearchService(ShardedAccelerator& accelerator)
-      : accel_(&accelerator) {}
+  /// service and every ticket). The default Config — unlimited budget,
+  /// unbounded queue — reproduces the pre-scheduler FIFO service
+  /// bit-for-bit. Throws ServiceError{InvalidOptions} on a zero class
+  /// weight.
+  explicit SearchService(ShardedAccelerator& accelerator,
+                         const Config& config = Config());
 
   /// Starts an asynchronous batch search and returns immediately, taking
   /// ownership of `reads` (pass an rvalue to avoid the copy). Width
   /// validation happens here (throws like search_batch); everything after
-  /// runs on the accelerator's session pool. Control-plane only.
+  /// runs on the accelerator's session pool. Blocks while the pending
+  /// queue is full (Config::max_pending_reads); throws
+  /// ServiceError{AdmissionFull} only if the submission alone exceeds the
+  /// bound. Control-plane only.
   std::shared_ptr<SearchTicket> submit(std::vector<Sequence> reads,
                                        std::size_t threshold,
                                        StrategyMode mode,
@@ -269,12 +564,28 @@ class SearchService {
       const std::vector<Sequence>& reads, std::size_t threshold,
       StrategyMode mode, const Options& options = Options());
 
+  /// Fail-fast admission: like submit()/submit_borrowed() but never
+  /// blocks — throws ServiceError{AdmissionFull} when the pending queue
+  /// cannot take the submission right now.
+  std::shared_ptr<SearchTicket> try_submit(std::vector<Sequence> reads,
+                                           std::size_t threshold,
+                                           StrategyMode mode,
+                                           const Options& options = Options());
+  std::shared_ptr<SearchTicket> try_submit_borrowed(
+      const std::vector<Sequence>& reads, std::size_t threshold,
+      StrategyMode mode, const Options& options = Options());
+
+  /// Scheduler observability (racy while work is in flight).
+  std::size_t in_flight_reads() const { return sched_->in_flight_reads(); }
+  std::size_t queued_reads() const { return sched_->queued_reads(); }
+
  private:
   void validate(const std::vector<Sequence>& reads) const;
   std::shared_ptr<SearchTicket> launch(std::shared_ptr<SearchTicket> ticket,
-                                       const Options& options);
+                                       const Options& options, bool block);
 
   ShardedAccelerator* accel_;
+  std::shared_ptr<ServiceScheduler> sched_;
 };
 
 }  // namespace asmcap

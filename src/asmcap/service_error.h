@@ -1,0 +1,63 @@
+#pragma once
+// Typed error taxonomy of the service tier (submission admission,
+// per-ticket scheduling, cancellation, deadlines), the scheduling
+// counterpart of the database mutations' DbError (asmcap/db_error.h).
+// A ServiceError is a *rejection with a reason the caller can branch on*:
+// try_submit over a full queue throws AdmissionFull, polling the result
+// of a read the ticket cancelled throws Cancelled, and so on — callers
+// that only care that something went wrong still catch std::runtime_error.
+//
+// Thread-safety: ServiceError is an immutable value after construction;
+// kind() is const and may be read from any thread.
+
+#include <stdexcept>
+#include <string>
+
+namespace asmcap {
+
+enum class ServiceErrorKind {
+  /// Bounded-queue admission rejected the submission: the pending-read
+  /// queue is full (try_submit), or the submission alone exceeds the
+  /// configured bound and could never be admitted (submit and try_submit).
+  AdmissionFull,
+  /// The ticket was cancelled; the requested read never completed.
+  Cancelled,
+  /// The ticket's deadline expired; the requested read never completed.
+  Expired,
+  /// stats()/read_timings()/drain() asked for terminal-state data while
+  /// the ticket was still running.
+  NotTerminal,
+  /// Rejected configuration or submit options (zero class weight,
+  /// negative deadline, ...).
+  InvalidOptions,
+};
+
+inline const char* to_string(ServiceErrorKind kind) {
+  switch (kind) {
+    case ServiceErrorKind::AdmissionFull:
+      return "AdmissionFull";
+    case ServiceErrorKind::Cancelled:
+      return "Cancelled";
+    case ServiceErrorKind::Expired:
+      return "Expired";
+    case ServiceErrorKind::NotTerminal:
+      return "NotTerminal";
+    case ServiceErrorKind::InvalidOptions:
+      return "InvalidOptions";
+  }
+  return "ServiceErrorKind(?)";
+}
+
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ServiceErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + message),
+        kind_(kind) {}
+
+  ServiceErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ServiceErrorKind kind_;
+};
+
+}  // namespace asmcap

@@ -1,0 +1,77 @@
+#pragma once
+// Injectable time source for the service tier. The scheduler's deadline
+// checks and the per-ticket latency observability (queue-wait, execution,
+// merge, completion timestamps in TicketStats) never call a chrono clock
+// directly: they go through a ServiceClock, so tests can substitute a
+// VirtualClock and drive "time" deterministically — a deadline test
+// expires tickets by advancing the clock from a completion callback
+// instead of sleeping, which makes the scheduler suite both fast and
+// exactly reproducible (docs/determinism.md rule 9: scheduling state may
+// depend on the clock, decisions never do).
+//
+// Ownership: clocks are borrowed (ServiceConfig::clock); the caller keeps
+// the clock alive for the lifetime of every service and ticket using it.
+// Thread-safety: now() may be called from any thread. VirtualClock
+// serialises now()/advance()/set() with an internal mutex, so an advance
+// from a worker-side callback is safely visible to the next now() on any
+// thread. SteadyClock is stateless.
+
+#include <chrono>
+#include <mutex>
+
+namespace asmcap {
+
+/// Abstract monotonic time source, in seconds. The epoch is arbitrary;
+/// only differences and comparisons against recorded instants matter.
+class ServiceClock {
+ public:
+  virtual ~ServiceClock() = default;
+  virtual double now() const = 0;
+};
+
+/// The real wall clock: std::chrono::steady_clock, as seconds.
+class SteadyClock final : public ServiceClock {
+ public:
+  double now() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Process-wide SteadyClock instance (the ServiceConfig::clock default).
+inline const ServiceClock& steady_service_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+/// A manually driven clock for deterministic scheduler tests: time stands
+/// still until advance()/set() moves it, from any thread.
+class VirtualClock final : public ServiceClock {
+ public:
+  explicit VirtualClock(double start_seconds = 0.0) : now_(start_seconds) {}
+
+  double now() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_;
+  }
+
+  /// Moves time forward by `seconds` (negative advances are ignored —
+  /// the clock stays monotonic like the steady clock it stands in for).
+  void advance(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (seconds > 0.0) now_ += seconds;
+  }
+
+  /// Jumps to an absolute instant (ignored if it would move time backwards).
+  void set(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (seconds > now_) now_ = seconds;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  double now_;
+};
+
+}  // namespace asmcap

@@ -70,4 +70,11 @@ double geomean_of(std::span<const double> xs);
 /// Pearson correlation of two equally sized spans.
 double correlation(std::span<const double> xs, std::span<const double> ys);
 
+/// Nearest-rank percentile (q in [0, 1]) of a span: the smallest value x
+/// such that at least ceil(q * n) samples are <= x. Exact order statistic
+/// — no interpolation — so the result is always one of the samples and is
+/// bit-reproducible across platforms (the service-tier latency/energy
+/// p50/p95/p99 in TicketStats go through here). 0 for an empty span.
+double percentile_of(std::span<const double> xs, double q);
+
 }  // namespace asmcap

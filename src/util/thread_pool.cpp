@@ -82,6 +82,26 @@ void ThreadPool::run_job(Job& job) {
   }
 }
 
+bool ThreadPool::any_task_locked() const {
+  for (const auto& queue : tasks_)
+    if (!queue.empty()) return true;
+  return false;
+}
+
+std::function<void()> ThreadPool::pop_task_locked() {
+  // Strict priority order: the first non-empty queue wins, FIFO within
+  // it. Starvation of the lower classes is the caller's problem to solve
+  // — the service tier's fair-share admission only ever has a bounded
+  // number of tasks enqueued per ticket, so Low work always surfaces.
+  for (auto& queue : tasks_)
+    if (!queue.empty()) {
+      std::function<void()> task = std::move(queue.front());
+      queue.pop_front();
+      return task;
+    }
+  return {};
+}
+
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
@@ -90,7 +110,7 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [&] {
-        return stop_ || !tasks_.empty() || generation_ != seen;
+        return stop_ || any_task_locked() || generation_ != seen;
       });
       if (generation_ != seen) {
         // A parallel_for job outranks the detached queue: the caller is
@@ -99,9 +119,8 @@ void ThreadPool::worker_loop() {
         // keeps the queue full (the queue resumes right after).
         seen = generation_;
         job = job_;
-      } else if (!tasks_.empty()) {
-        task = std::move(tasks_.front());
-        tasks_.pop_front();
+      } else if (any_task_locked()) {
+        task = pop_task_locked();
       } else if (stop_) {
         // Exit only once the queue is drained: shutdown completes every
         // submitted task (TaskGroup waiters never dangle).
@@ -143,11 +162,11 @@ void ThreadPool::parallel_for(std::size_t count,
   if (job->error) std::rethrow_exception(job->error);
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(std::function<void()> task, TaskPriority priority) {
   if (!threads_.empty()) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.push_back(std::move(task));
+      tasks_[static_cast<std::size_t>(priority)].push_back(std::move(task));
     }
     start_cv_.notify_one();
     return;

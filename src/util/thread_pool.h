@@ -22,6 +22,7 @@
 //
 // See docs/architecture.md for where the pool sits in the engine layering.
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -35,6 +36,15 @@
 #include <vector>
 
 namespace asmcap {
+
+/// Priority class of a detached submit() task. Workers always pop the
+/// lowest-numbered non-empty queue, FIFO within a class: a High task
+/// enqueued behind a thousand Low tasks runs as soon as any worker frees
+/// up, without preempting tasks already executing. This is the pool-level
+/// substrate the service tier's interactive-over-bulk scheduling stands
+/// on (asmcap/service.h maps ServiceClass onto it).
+enum class TaskPriority : std::uint8_t { High = 0, Normal = 1, Low = 2 };
+inline constexpr std::size_t kTaskPriorityCount = 3;
 
 /// A waitable completion counter for detached tasks: the dispatcher calls
 /// start() per task (before submitting it), every task calls finish()
@@ -91,10 +101,14 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
-  /// Enqueues one detached task. Tasks run in FIFO claim order on the
-  /// spawned threads; on a pool with no spawned threads (workers == 1)
-  /// the task runs inline before submit() returns, via a trampoline so
-  /// that task chains (tasks submitting tasks) use constant stack depth.
+  /// Enqueues one detached task. Tasks run FIFO within their priority
+  /// class on the spawned threads, and a worker always prefers the
+  /// highest class with queued work (High before Normal before Low); on a
+  /// pool with no spawned threads (workers == 1) the task runs inline
+  /// before submit() returns, via a trampoline so that task chains (tasks
+  /// submitting tasks) use constant stack depth — inline execution is
+  /// strict FIFO regardless of priority, which is irrelevant for ordering
+  /// guarantees because every task completes before submit() returns.
   /// Tasks SHOULD NOT throw — there is no completion channel to carry an
   /// exception: on a threaded pool a throwing task terminates the
   /// process; on a threadless pool the exception propagates to the
@@ -102,7 +116,8 @@ class ThreadPool {
   /// submit). Callers such as SearchService catch inside the task and
   /// report at wait(). Callable from any thread, including from inside a
   /// running task.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task,
+              TaskPriority priority = TaskPriority::Normal);
 
   /// max(1, std::thread::hardware_concurrency()).
   static std::size_t hardware_workers();
@@ -119,6 +134,8 @@ class ThreadPool {
 
   void worker_loop();
   void run_job(Job& job);
+  bool any_task_locked() const;              ///< Caller holds mutex_.
+  std::function<void()> pop_task_locked();   ///< Caller holds mutex_.
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
@@ -126,7 +143,8 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::shared_ptr<Job> job_;       ///< Current job (guarded by mutex_).
   std::uint64_t generation_ = 0;   ///< Bumped per job (guarded by mutex_).
-  std::deque<std::function<void()>> tasks_;  ///< submit queue (mutex_).
+  /// submit queues, one per TaskPriority, popped High-first (mutex_).
+  std::array<std::deque<std::function<void()>>, kTaskPriorityCount> tasks_;
   bool stop_ = false;
   // Inline-execution trampoline for threadless pools (guarded by mutex_:
   // any thread may enqueue; whichever entered the drain loop executes).

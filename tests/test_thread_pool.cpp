@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -183,6 +185,58 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks) {
     // No wait: the destructor must finish every queued task before join.
   }
   EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, HighPriorityTasksOvertakeQueuedLowerClasses) {
+  // One spawned worker (pool of 2) drains the queue sequentially, so the
+  // observed execution order IS the pop order. Block it with a gate task,
+  // enqueue Low, Normal, and High work interleaved, then release: every
+  // High task must run before every Normal, every Normal before every
+  // Low, and order within a class must stay FIFO.
+  ThreadPool pool(2);
+  TaskGroup group;
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  group.start();
+  pool.submit([opened, &group] {
+    opened.wait();
+    group.finish();
+  });
+  std::mutex mutex;
+  std::vector<int> order;
+  const auto enqueue = [&](int tag, TaskPriority priority) {
+    group.start();
+    pool.submit(
+        [&, tag] {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            order.push_back(tag);
+          }
+          group.finish();
+        },
+        priority);
+  };
+  for (int i = 0; i < 4; ++i) {
+    enqueue(300 + i, TaskPriority::Low);
+    enqueue(200 + i, TaskPriority::Normal);
+    enqueue(100 + i, TaskPriority::High);
+  }
+  gate.set_value();
+  group.wait();
+  const std::vector<int> expected = {100, 101, 102, 103, 200, 201,
+                                     202, 203, 300, 301, 302, 303};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ThreadlessPoolIgnoresPriorityAndStaysFifo) {
+  // Inline execution completes each task before submit() returns, so
+  // priority cannot reorder anything: submission order is the order.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.submit([&] { order.push_back(1); }, TaskPriority::Low);
+  pool.submit([&] { order.push_back(2); }, TaskPriority::High);
+  pool.submit([&] { order.push_back(3); }, TaskPriority::Normal);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(TaskGroup, ReusableAfterDraining) {

@@ -39,8 +39,10 @@ src/asmcap/readmapper.h
 src/asmcap/backend.h
 src/asmcap/edam.h
 src/asmcap/service.h
+src/asmcap/service_error.h
 src/align/kernels.h
 src/util/thread_pool.h
+src/util/clock.h
 "
 for h in $headers; do
   if [ ! -e "$h" ]; then
