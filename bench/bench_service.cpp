@@ -228,7 +228,7 @@ int main(int argc, char** argv) {
     accel.set_error_profile(sim_config.rates);
     SearchService::Config config;
     config.max_in_flight_reads = 2 * workers;
-    SearchService service(accel, config);
+    SearchService mixed_service(accel, config);
     SearchService::Options options;
     options.workers = workers;
     options.keep_results = false;
@@ -242,7 +242,8 @@ int main(int argc, char** argv) {
         prioritized ? ServiceClass::Bulk : ServiceClass::Normal;
     options.on_complete = digest_into(0);
     auto bulk_ticket =
-        service.submit(bulk_reads, threshold, StrategyMode::Full, options);
+        mixed_service.submit(bulk_reads, threshold, StrategyMode::Full,
+                             options);
     // The interactive request arrives NOW, in both sub-arms; only the
     // prioritized one may act on it before the bulk queue drains.
     const double arrival = steady_service_clock().now();
@@ -251,13 +252,13 @@ int main(int argc, char** argv) {
     options.on_complete = digest_into(bulk_reads.size());
     std::shared_ptr<SearchTicket> interactive_ticket;
     if (prioritized) {
-      interactive_ticket = service.submit(interactive_reads, threshold,
-                                          StrategyMode::Full, options);
+      interactive_ticket = mixed_service.submit(
+          interactive_reads, threshold, StrategyMode::Full, options);
       bulk_ticket->wait();
     } else {
       bulk_ticket->wait();  // head-of-line blocking: FIFO serves bulk first
-      interactive_ticket = service.submit(interactive_reads, threshold,
-                                          StrategyMode::Full, options);
+      interactive_ticket = mixed_service.submit(
+          interactive_reads, threshold, StrategyMode::Full, options);
     }
     interactive_ticket->wait();
     arm.wall_seconds = seconds_since(start);

@@ -44,7 +44,7 @@ ServiceScheduler::ServiceScheduler(const ServiceConfig& config)
 }
 
 bool ServiceScheduler::reserve(std::size_t reads, bool block) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (config_.max_pending_reads != 0) {
     // A submission larger than the whole queue can never fit: fail it in
     // both modes rather than letting the blocking path wait forever.
@@ -52,9 +52,8 @@ bool ServiceScheduler::reserve(std::size_t reads, bool block) {
     if (!block) {
       if (queued_ + reads > config_.max_pending_reads) return false;
     } else {
-      space_cv_.wait(lock, [&] {
-        return queued_ + reads <= config_.max_pending_reads;
-      });
+      while (queued_ + reads > config_.max_pending_reads)
+        space_cv_.wait(mutex_);
     }
   }
   queued_ += reads;
@@ -63,7 +62,7 @@ bool ServiceScheduler::reserve(std::size_t reads, bool block) {
 
 void ServiceScheduler::enlist(std::shared_ptr<SearchTicket> ticket) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     enqueue_locked(ticket);
   }
   pump();
@@ -71,7 +70,7 @@ void ServiceScheduler::enlist(std::shared_ptr<SearchTicket> ticket) {
 
 void ServiceScheduler::on_retire(const std::shared_ptr<SearchTicket>& ticket) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (config_.max_in_flight_reads != 0) ++free_slots_;
     --in_flight_;
     enqueue_locked(ticket);
@@ -81,19 +80,19 @@ void ServiceScheduler::on_retire(const std::shared_ptr<SearchTicket>& ticket) {
 
 void ServiceScheduler::on_swept(std::size_t reads) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queued_ -= reads;
   }
   space_cv_.notify_all();
 }
 
 std::size_t ServiceScheduler::in_flight_reads() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return in_flight_;
 }
 
 std::size_t ServiceScheduler::queued_reads() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queued_;
 }
 
@@ -121,7 +120,7 @@ void ServiceScheduler::pump() {
     std::shared_ptr<SearchTicket> ticket;
     std::uint64_t seq = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (bounded && free_slots_ == 0) return;
       std::size_t cls = kServiceClassCount;
       for (std::size_t c = 0; c < kServiceClassCount; ++c)
@@ -141,7 +140,7 @@ void ServiceScheduler::pump() {
     const SearchTicket::Grant grant = ticket->grant_one(seq);
     bool freed_queue_space = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       switch (grant) {
         case SearchTicket::Grant::Launched:
           --queued_;
@@ -250,7 +249,7 @@ void SearchTicket::wait() {
   }
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(error_mutex_);
+    MutexLock lock(error_mutex_);
     error = error_;
   }
   if (error) std::rethrow_exception(error);
@@ -359,7 +358,7 @@ std::vector<ReadTiming> SearchTicket::read_timings() const {
 }
 
 void SearchTicket::record_error(std::exception_ptr error) {
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   if (!error_) error_ = error;
 }
 
@@ -673,7 +672,7 @@ void SearchTicket::emit(std::size_t i) {
   if (seq_owner_.load(std::memory_order_relaxed) ==
       std::this_thread::get_id())
     return;
-  std::lock_guard<std::mutex> lock(seq_mutex_);
+  MutexLock lock(seq_mutex_);
   seq_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   while (next_emit_ < slots_.size() &&
          slots_[next_emit_].ready.load(std::memory_order_acquire)) {

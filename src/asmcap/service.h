@@ -118,14 +118,12 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -136,6 +134,7 @@
 #include "genome/sequence.h"
 #include "util/clock.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace asmcap {
@@ -232,7 +231,8 @@ struct ServiceConfig {
 /// tickets (via shared_ptr, so tickets may outlive the service). All
 /// policy state — per-class ticket queues, stride passes, the global
 /// in-flight budget, the bounded pending-read queue — lives behind one
-/// mutex; grants themselves (ticket->grant_one()) run OUTSIDE the lock.
+/// mutex (ASMCAP_GUARDED_BY, checked by Clang's thread-safety analysis);
+/// grants themselves (ticket->grant_one()) run OUTSIDE the lock.
 /// Thread-safety: every method may be called from any thread; reserve()
 /// may block (control plane) while workers retire reads and keep pumping.
 class ServiceScheduler {
@@ -246,42 +246,53 @@ class ServiceScheduler {
   /// block = true waits for space; returns false when the submission can
   /// never or does not currently fit (caller turns that into a
   /// ServiceError). Always returns true when the queue is unbounded.
-  bool reserve(std::size_t reads, bool block);
+  bool reserve(std::size_t reads, bool block) ASMCAP_EXCLUDES(mutex_);
 
   /// Queues a freshly launched ticket and starts granting.
-  void enlist(std::shared_ptr<SearchTicket> ticket);
+  void enlist(std::shared_ptr<SearchTicket> ticket) ASMCAP_EXCLUDES(mutex_);
 
   /// A granted read retired: its global budget slot is free; the ticket
   /// may be hungry for another grant.
-  void on_retire(const std::shared_ptr<SearchTicket>& ticket);
+  void on_retire(const std::shared_ptr<SearchTicket>& ticket)
+      ASMCAP_EXCLUDES(mutex_);
 
   /// `reads` pending reads left the queue without being granted (a
   /// cancel/deadline sweep claimed them).
-  void on_swept(std::size_t reads);
+  void on_swept(std::size_t reads) ASMCAP_EXCLUDES(mutex_);
 
   /// Observability (racy by nature; exact only when the service is idle).
-  std::size_t in_flight_reads() const;
-  std::size_t queued_reads() const;
+  std::size_t in_flight_reads() const ASMCAP_EXCLUDES(mutex_);
+  std::size_t queued_reads() const ASMCAP_EXCLUDES(mutex_);
 
  private:
-  void enqueue_locked(const std::shared_ptr<SearchTicket>& ticket);
-  void pump();
+  void enqueue_locked(const std::shared_ptr<SearchTicket>& ticket)
+      ASMCAP_REQUIRES(mutex_);
+  void pump() ASMCAP_EXCLUDES(mutex_);
 
   const ServiceConfig config_;
   const ServiceClock* clock_;
-  mutable std::mutex mutex_;
-  std::condition_variable space_cv_;
+  mutable Mutex mutex_;
+  CondVar space_cv_;
   /// Per-class FIFO of tickets wanting grants (deduplicated via the
   /// ticket's sched_queued_ flag).
   std::array<std::deque<std::shared_ptr<SearchTicket>>, kServiceClassCount>
-      queues_;
-  std::array<std::uint64_t, kServiceClassCount> pass_{};    ///< Stride passes.
-  std::array<std::uint64_t, kServiceClassCount> stride_{};  ///< K / weight.
-  std::uint64_t last_pass_ = 0;  ///< Pass of the latest grant (lag capping).
-  std::uint64_t admit_seq_ = 0;  ///< Global grant counter (1-based).
-  std::size_t free_slots_ = 0;   ///< Remaining global budget (if bounded).
-  std::size_t queued_ = 0;       ///< Reads accepted, not yet granted/swept.
-  std::size_t in_flight_ = 0;    ///< Reads granted, not yet retired.
+      queues_ ASMCAP_GUARDED_BY(mutex_);
+  /// Stride passes.
+  std::array<std::uint64_t, kServiceClassCount> pass_
+      ASMCAP_GUARDED_BY(mutex_){};
+  /// K / weight (written once, in the constructor).
+  std::array<std::uint64_t, kServiceClassCount> stride_
+      ASMCAP_GUARDED_BY(mutex_){};
+  /// Pass of the latest grant (lag capping).
+  std::uint64_t last_pass_ ASMCAP_GUARDED_BY(mutex_) = 0;
+  /// Global grant counter (1-based).
+  std::uint64_t admit_seq_ ASMCAP_GUARDED_BY(mutex_) = 0;
+  /// Remaining global budget (if bounded).
+  std::size_t free_slots_ ASMCAP_GUARDED_BY(mutex_) = 0;
+  /// Reads accepted, not yet granted/swept.
+  std::size_t queued_ ASMCAP_GUARDED_BY(mutex_) = 0;
+  /// Reads granted, not yet retired.
+  std::size_t in_flight_ ASMCAP_GUARDED_BY(mutex_) = 0;
 };
 
 /// Handle to one asynchronous submission. Created only by
@@ -338,7 +349,7 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
   /// execution or from on_complete), then records the submission's Done
   /// reads in the accelerator's ledger in read order (once).
   /// Control-plane only. Returns normally for cancelled/expired tickets.
-  void wait();
+  void wait() ASMCAP_EXCLUDES(error_mutex_);
 
   /// wait(), then moves all results out in read order. Control-plane
   /// only; requires Options::keep_results (the default) and a fully Done
@@ -425,9 +436,9 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
   void run_shard(std::size_t i, std::size_t s);
   void complete_read(std::size_t i, ReadOutcome outcome);
   void finish_one();
-  void emit(std::size_t i);
+  void emit(std::size_t i) ASMCAP_EXCLUDES(seq_mutex_);
   void retire(std::size_t i);
-  void record_error(std::exception_ptr error);
+  void record_error(std::exception_ptr error) ASMCAP_EXCLUDES(error_mutex_);
   void release_result(Slot& slot);
 
   ShardedAccelerator* accel_;
@@ -477,8 +488,8 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
   std::atomic<std::size_t> completed_{0};
   TaskGroup group_;
 
-  std::mutex seq_mutex_;      ///< Re-sequencer state below.
-  std::size_t next_emit_ = 0;
+  Mutex seq_mutex_;  ///< Re-sequencer state below.
+  std::size_t next_emit_ ASMCAP_GUARDED_BY(seq_mutex_) = 0;
   /// Thread currently inside the re-sequencer flush loop. A cancel or
   /// deadline sweep triggered from WITHIN a delivery (a callback calling
   /// cancel(), or a retire-driven grant expiring the ticket) re-enters
@@ -487,8 +498,8 @@ class SearchTicket : public std::enable_shared_from_this<SearchTicket> {
   /// returns instead of self-deadlocking on seq_mutex_.
   std::atomic<std::thread::id> seq_owner_{};
 
-  std::mutex error_mutex_;
-  std::exception_ptr error_;
+  Mutex error_mutex_;
+  std::exception_ptr error_ ASMCAP_GUARDED_BY(error_mutex_);
 
   bool recorded_ = false;             ///< Ledger flushed (control plane).
   std::atomic<bool> drained_{false};  ///< Results moved out by drain().

@@ -12,12 +12,14 @@
 // Ownership: clocks are borrowed (ServiceConfig::clock); the caller keeps
 // the clock alive for the lifetime of every service and ticket using it.
 // Thread-safety: now() may be called from any thread. VirtualClock
-// serialises now()/advance()/set() with an internal mutex, so an advance
-// from a worker-side callback is safely visible to the next now() on any
-// thread. SteadyClock is stateless.
+// serialises now()/advance()/set() with an internal mutex (annotated for
+// Clang's thread-safety analysis, util/thread_annotations.h), so an
+// advance from a worker-side callback is safely visible to the next
+// now() on any thread. SteadyClock is stateless.
 
 #include <chrono>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace asmcap {
 
@@ -51,27 +53,29 @@ class VirtualClock final : public ServiceClock {
  public:
   explicit VirtualClock(double start_seconds = 0.0) : now_(start_seconds) {}
 
+  // (No EXCLUDES here: attribute placement on an `override` declarator is
+  // compiler-dependent; the GUARDED_BY check below is what carries.)
   double now() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return now_;
   }
 
   /// Moves time forward by `seconds` (negative advances are ignored —
   /// the clock stays monotonic like the steady clock it stands in for).
-  void advance(double seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void advance(double seconds) ASMCAP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (seconds > 0.0) now_ += seconds;
   }
 
   /// Jumps to an absolute instant (ignored if it would move time backwards).
-  void set(double seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void set(double seconds) ASMCAP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (seconds > now_) now_ = seconds;
   }
 
  private:
-  mutable std::mutex mutex_;
-  double now_;
+  mutable Mutex mutex_;
+  double now_ ASMCAP_GUARDED_BY(mutex_);
 };
 
 }  // namespace asmcap

@@ -1,0 +1,147 @@
+#pragma once
+// Clang Thread Safety Analysis vocabulary for the concurrent core, plus
+// the annotated lock primitives the analysis needs to see. Two layers:
+//
+//  * ASMCAP_* attribute macros (ASMCAP_CAPABILITY, ASMCAP_GUARDED_BY,
+//    ASMCAP_REQUIRES, ASMCAP_ACQUIRE/RELEASE, ASMCAP_EXCLUDES, ...) —
+//    thin wrappers over Clang's thread-safety attributes that compile to
+//    NOTHING on other compilers, so GCC builds are byte-identical while
+//    clang builds carry -Werror=thread-safety (see CMakeLists.txt).
+//  * Mutex / MutexLock / CondVar — drop-in annotated replacements for
+//    std::mutex / std::lock_guard / std::condition_variable. libstdc++'s
+//    lock types carry no capability attributes, so the analysis cannot
+//    track a std::lock_guard acquisition; these wrappers are what lets
+//    every GUARDED_BY member in thread_pool.h / service.h / clock.h be
+//    statically checked. They add no state and no indirection beyond the
+//    wrapped standard types.
+//
+// The analysis is purely compile-time: which functions hold which locks
+// when they touch which members. What it cannot see — ownership protocols
+// over atomics (the ticket's terminal-cause CAS and window slots), the
+// control-plane serialization of the epoch publish, release/acquire
+// publication — stays the province of docs/architecture.md contracts and
+// the TSan CI job. docs/static_analysis.md has the full scope and the
+// suppression policy (ASMCAP_NO_THREAD_SAFETY_ANALYSIS requires a
+// justifying comment).
+//
+// Ownership: Mutex and CondVar are plain members, owned like the standard
+// types they wrap. Thread-safety: Mutex/CondVar are thread-safe by
+// definition; MutexLock is a scoped guard confined to one thread, like
+// std::lock_guard.
+
+#include <condition_variable>
+#include <mutex>
+
+// ------------------------------------------------------ attribute macros --
+// Guarded by __has_attribute, not just __clang__, so a future compiler
+// that grows the analysis picks it up and an old clang degrades to no-ops.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ASMCAP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ASMCAP_THREAD_ANNOTATION
+#define ASMCAP_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability (e.g. class Mutex).
+#define ASMCAP_CAPABILITY(name) ASMCAP_THREAD_ANNOTATION(capability(name))
+/// Marks a type whose constructor acquires and destructor releases.
+#define ASMCAP_SCOPED_CAPABILITY ASMCAP_THREAD_ANNOTATION(scoped_lockable)
+/// Member may only be touched while `mutex` is held.
+#define ASMCAP_GUARDED_BY(mutex) ASMCAP_THREAD_ANNOTATION(guarded_by(mutex))
+/// Pointee may only be touched while `mutex` is held (pointer itself free).
+#define ASMCAP_PT_GUARDED_BY(mutex) \
+  ASMCAP_THREAD_ANNOTATION(pt_guarded_by(mutex))
+/// Function must be called with the capability held (the `_locked` suffix
+/// convention, made checkable).
+#define ASMCAP_REQUIRES(...) \
+  ASMCAP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (held on return).
+#define ASMCAP_ACQUIRE(...) \
+  ASMCAP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function may acquire: returns `value` on success.
+#define ASMCAP_TRY_ACQUIRE(...) \
+  ASMCAP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function releases the capability (must be held on entry).
+#define ASMCAP_RELEASE(...) \
+  ASMCAP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function must be called with the capability NOT held (deadlock guard
+/// for public entry points that take their own lock).
+#define ASMCAP_EXCLUDES(...) \
+  ASMCAP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define ASMCAP_RETURN_CAPABILITY(x) ASMCAP_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch — opts one function out of the analysis. Every use MUST
+/// carry a comment justifying why the protocol is sound but unprovable
+/// (docs/static_analysis.md "Suppressing a finding").
+#define ASMCAP_NO_THREAD_SAFETY_ANALYSIS \
+  ASMCAP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace asmcap {
+
+class CondVar;
+
+/// std::mutex with the capability attribute the analysis keys on.
+class ASMCAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ASMCAP_ACQUIRE() { m_.lock(); }
+  void unlock() ASMCAP_RELEASE() { m_.unlock(); }
+  bool try_lock() ASMCAP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;  ///< wait() adopts the raw mutex, see below.
+  std::mutex m_;
+};
+
+/// Scoped guard: std::lock_guard over a Mutex, visible to the analysis.
+class ASMCAP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ASMCAP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() ASMCAP_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over Mutex. No predicate overloads on purpose:
+/// a predicate lambda is analyzed as its own function, where the
+/// analysis cannot know the lock is held — callers write the explicit
+///   while (!condition) cv_.wait(mutex_);
+/// loop instead, which checks the guarded condition in the enclosing
+/// locked scope (the restructuring -Werror=thread-safety demanded).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and re-acquires before
+  /// returning. Caller must hold `mutex` (and, as with any condition
+  /// wait, must re-check its condition in a loop — spurious wakeups).
+  void wait(Mutex& mutex) ASMCAP_REQUIRES(mutex) {
+    // Adopt the already-held raw mutex so the standard wait can unlock /
+    // relock it, then release the adapter so it does not unlock on exit.
+    // The analysis sees none of this churn: `mutex` is held on entry and
+    // on exit, which is exactly the contract REQUIRES states.
+    std::unique_lock<std::mutex> adapter(mutex.m_, std::adopt_lock);
+    cv_.wait(adapter);
+    adapter.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace asmcap

@@ -8,22 +8,22 @@ namespace asmcap {
 // ------------------------------------------------------------ TaskGroup --
 
 void TaskGroup::start(std::size_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   pending_ += n;
 }
 
 void TaskGroup::finish() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (--pending_ == 0) cv_.notify_all();
 }
 
 void TaskGroup::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return pending_ == 0; });
+  MutexLock lock(mutex_);
+  while (pending_ != 0) cv_.wait(mutex_);
 }
 
 std::size_t TaskGroup::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pending_;
 }
 
@@ -42,7 +42,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -53,7 +53,7 @@ ThreadPool::~ThreadPool() {
   while (true) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (inline_tasks_.empty()) break;
       task = std::move(inline_tasks_.front());
       inline_tasks_.pop_front();
@@ -72,11 +72,11 @@ void ThreadPool::run_job(Job& job) {
     try {
       job.fn(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.error_mutex);
+      MutexLock lock(job.error_mutex);
       if (!job.error) job.error = std::current_exception();
     }
     if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       done_cv_.notify_all();
     }
   }
@@ -108,10 +108,9 @@ void ThreadPool::worker_loop() {
     std::shared_ptr<Job> job;
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return stop_ || any_task_locked() || generation_ != seen;
-      });
+      MutexLock lock(mutex_);
+      while (!(stop_ || any_task_locked() || generation_ != seen))
+        start_cv_.wait(mutex_);
       if (generation_ != seen) {
         // A parallel_for job outranks the detached queue: the caller is
         // blocked on it and its index count is finite, so joining it
@@ -146,26 +145,33 @@ void ThreadPool::parallel_for(std::size_t count,
   job->count = count;
   job->remaining.store(count, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = job;
     ++generation_;
   }
   start_cv_.notify_all();
   run_job(*job);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] {
-      return job->remaining.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock(mutex_);
+    while (job->remaining.load(std::memory_order_acquire) != 0)
+      done_cv_.wait(mutex_);
     job_.reset();
   }
-  if (job->error) std::rethrow_exception(job->error);
+  // Read the error slot under its own lock: the analysis (rightly)
+  // refuses the old bare read — it was only safe through the acq_rel
+  // ordering on `remaining`, an argument no local reader can check.
+  std::exception_ptr error;
+  {
+    MutexLock lock(job->error_mutex);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::submit(std::function<void()> task, TaskPriority priority) {
   if (!threads_.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       tasks_[static_cast<std::size_t>(priority)].push_back(std::move(task));
     }
     start_cv_.notify_one();
@@ -180,7 +186,7 @@ void ThreadPool::submit(std::function<void()> task, TaskPriority priority) {
   // the exception propagates to the draining caller; tasks still queued
   // run at the next submit().
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     inline_tasks_.push_back(std::move(task));
     if (inline_running_) return;
     inline_running_ = true;
@@ -188,7 +194,7 @@ void ThreadPool::submit(std::function<void()> task, TaskPriority priority) {
   for (;;) {
     std::function<void()> next;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (inline_tasks_.empty()) {
         inline_running_ = false;
         return;
@@ -199,7 +205,7 @@ void ThreadPool::submit(std::function<void()> task, TaskPriority priority) {
     try {
       next();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       inline_running_ = false;
       throw;
     }

@@ -18,22 +18,24 @@
 // Thread-safety: submit() may be called from any thread, including from
 // inside a running task; parallel_for() must be called from exactly one
 // thread at a time and is NOT reentrant (see its comment). TaskGroup is
-// fully thread-safe.
+// fully thread-safe. The lock protocol is statically checked: every
+// queue and flag below is ASMCAP_GUARDED_BY the pool mutex (Clang
+// -Werror=thread-safety; see util/thread_annotations.h).
 //
 // See docs/architecture.md for where the pool sits in the engine layering.
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace asmcap {
 
@@ -54,23 +56,23 @@ class TaskGroup {
  public:
   /// Registers `n` outstanding tasks. Call BEFORE the matching submit()s,
   /// or a fast task could drain the group below a concurrent wait().
-  void start(std::size_t n = 1);
+  void start(std::size_t n = 1) ASMCAP_EXCLUDES(mutex_);
 
   /// Marks one task complete; wakes waiters when the group drains.
-  void finish();
+  void finish() ASMCAP_EXCLUDES(mutex_);
 
   /// Blocks until every started task has finished (returns immediately if
   /// none are outstanding).
-  void wait();
+  void wait() ASMCAP_EXCLUDES(mutex_);
 
   /// Outstanding (started but not finished) tasks, racy by nature: only
   /// pending() == 0 observed after wait() is a stable statement.
-  std::size_t pending() const;
+  std::size_t pending() const ASMCAP_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t pending_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::size_t pending_ ASMCAP_GUARDED_BY(mutex_) = 0;
 };
 
 class ThreadPool {
@@ -99,7 +101,8 @@ class ThreadPool {
   /// owners (accelerator, sharded router, read mapper) therefore run
   /// their parallel phases strictly one after another.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      ASMCAP_EXCLUDES(mutex_);
 
   /// Enqueues one detached task. Tasks run FIFO within their priority
   /// class on the spawned threads, and a worker always prefers the
@@ -117,7 +120,8 @@ class ThreadPool {
   /// report at wait(). Callable from any thread, including from inside a
   /// running task.
   void submit(std::function<void()> task,
-              TaskPriority priority = TaskPriority::Normal);
+              TaskPriority priority = TaskPriority::Normal)
+      ASMCAP_EXCLUDES(mutex_);
 
   /// max(1, std::thread::hardware_concurrency()).
   static std::size_t hardware_workers();
@@ -128,28 +132,31 @@ class ThreadPool {
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> remaining{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
+    Mutex error_mutex;
+    std::exception_ptr error ASMCAP_GUARDED_BY(error_mutex);
   };
 
-  void worker_loop();
-  void run_job(Job& job);
-  bool any_task_locked() const;              ///< Caller holds mutex_.
-  std::function<void()> pop_task_locked();   ///< Caller holds mutex_.
+  void worker_loop() ASMCAP_EXCLUDES(mutex_);
+  void run_job(Job& job) ASMCAP_EXCLUDES(mutex_);
+  bool any_task_locked() const ASMCAP_REQUIRES(mutex_);
+  std::function<void()> pop_task_locked() ASMCAP_REQUIRES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::shared_ptr<Job> job_;       ///< Current job (guarded by mutex_).
-  std::uint64_t generation_ = 0;   ///< Bumped per job (guarded by mutex_).
-  /// submit queues, one per TaskPriority, popped High-first (mutex_).
-  std::array<std::deque<std::function<void()>>, kTaskPriorityCount> tasks_;
-  bool stop_ = false;
-  // Inline-execution trampoline for threadless pools (guarded by mutex_:
-  // any thread may enqueue; whichever entered the drain loop executes).
-  std::deque<std::function<void()>> inline_tasks_;
-  bool inline_running_ = false;
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  /// Current parallel_for job (the single shared slot).
+  std::shared_ptr<Job> job_ ASMCAP_GUARDED_BY(mutex_);
+  /// Bumped per job.
+  std::uint64_t generation_ ASMCAP_GUARDED_BY(mutex_) = 0;
+  /// submit queues, one per TaskPriority, popped High-first.
+  std::array<std::deque<std::function<void()>>, kTaskPriorityCount> tasks_
+      ASMCAP_GUARDED_BY(mutex_);
+  bool stop_ ASMCAP_GUARDED_BY(mutex_) = false;
+  // Inline-execution trampoline for threadless pools (any thread may
+  // enqueue; whichever thread entered the drain loop executes).
+  std::deque<std::function<void()>> inline_tasks_ ASMCAP_GUARDED_BY(mutex_);
+  bool inline_running_ ASMCAP_GUARDED_BY(mutex_) = false;
 };
 
 /// A lazily-created, session-owned ThreadPool handle: the pool is built at

@@ -1,0 +1,16 @@
+// detlint negative fixture: ad-hoc RNG state instead of the forkable
+// Rng stream tree. Must trip DET-BANNED-SOURCE and nothing else.
+// detlint-as: src/util/fixture_banned_source.cpp
+// detlint-expect: DET-BANNED-SOURCE
+#include <cstdlib>
+#include <random>
+
+unsigned bad_mersenne_draw() {
+  std::mt19937 gen(std::random_device{}());  // BAD: unforkable RNG state
+  return gen();
+}
+
+int bad_libc_draw() {
+  srand(42);     // BAD: hidden global stream
+  return rand();  // BAD: shared sequential draw
+}

@@ -1,0 +1,33 @@
+// detlint clean fixture: the patterns the determinism discipline
+// endorses, all of which must pass every rule.
+// detlint-as: src/asmcap/fixture_clean.cpp
+#include <chrono>
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t next();
+  Rng fork(std::uint64_t key) const;
+};
+
+struct Backend {
+  // Per-decision streams are pure forks keyed by the GLOBAL segment id:
+  // order-, worker-, and shard-invariant (determinism.md rule 1/2).
+  std::uint64_t segment_coin(const Rng& pass_rng, std::uint64_t global_id) {
+    Rng coin_rng = pass_rng.fork(global_id);
+    return coin_rng.next();  // local stream, confined to this decision
+  }
+
+  // The control-plane fork-keying idiom for sequential search().
+  Rng query_stream() { return rng_.fork(rng_.next()); }
+
+  Rng rng_;
+};
+
+// steady_clock is the one chrono clock the engine may read (and only
+// through util/clock.h in real code); mentioning it here checks the
+// lint does not over-ban.
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

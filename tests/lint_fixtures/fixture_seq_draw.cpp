@@ -1,0 +1,24 @@
+// detlint negative fixture: a decision path drawing sequentially from
+// member Rng state. Must trip DET-SEQ-DRAW exactly once — the
+// control-plane fork-keying idiom `rng_.fork(rng_.next())` below is the
+// allowed shape and must NOT fire.
+// detlint-as: src/asmcap/fixture_seq_draw.cpp
+// detlint-expect: DET-SEQ-DRAW
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t next();
+  Rng fork(std::uint64_t key) const;
+};
+
+struct Backend {
+  // BAD: a per-segment decision drawn from shared sequential state —
+  // the draw depends on evaluation order, not on the global segment id.
+  std::uint64_t segment_coin() { return rng_.next(); }
+
+  // Allowed: the one legal sequential draw, keying a per-query fork on
+  // the control plane (determinism.md rule 1, "the stream tree").
+  Rng query_stream() { return rng_.fork(rng_.next()); }
+
+  Rng rng_;
+};

@@ -1,0 +1,11 @@
+// detlint negative fixture: sleeping inside the engine. Must trip
+// DET-SLEEP and nothing else.
+// detlint-as: src/asmcap/fixture_sleep.cpp
+// detlint-expect: DET-SLEEP
+#include <chrono>
+#include <thread>
+
+void bad_backoff() {
+  // BAD: the engine waits on state (CondVar, VirtualClock), never time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

@@ -1,0 +1,14 @@
+// detlint negative fixture: wall-clock reads outside util/clock.h and
+// bench/. Must trip DET-WALL-CLOCK and nothing else.
+// detlint-as: src/util/fixture_wall_clock.cpp
+// detlint-expect: DET-WALL-CLOCK
+#include <chrono>
+#include <ctime>
+
+double bad_wall_clock() {
+  // BAD: results must not depend on wall time (determinism.md rule 4).
+  auto t = std::chrono::system_clock::now().time_since_epoch();
+  auto u = std::chrono::high_resolution_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t + u).count() +
+         static_cast<double>(std::time(nullptr));
+}

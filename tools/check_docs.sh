@@ -42,6 +42,7 @@ src/asmcap/service.h
 src/asmcap/service_error.h
 src/align/kernels.h
 src/util/thread_pool.h
+src/util/thread_annotations.h
 src/util/clock.h
 "
 for h in $headers; do

@@ -1,0 +1,416 @@
+#!/usr/bin/env python3
+"""Determinism lint: mechanical enforcement of docs/determinism.md.
+
+Scans C++ sources for the nondeterminism sources the determinism
+discipline bans, and emits every finding with the determinism.md rule it
+violates, so a diagnostic is always traceable to the written contract:
+
+  DET-BANNED-SOURCE  ad-hoc RNG (std::random_device, mt19937, rand,
+                     srand) anywhere outside bench/, util/clock.h and
+                     util/rng.* — all randomness flows through the
+                     forkable Rng tree            [determinism.md rule 1]
+  DET-WALL-CLOCK     wall-clock reads (system_clock,
+                     high_resolution_clock, time()) in the same scope —
+                     reproducible results may not depend on wall time;
+                     timing goes through util/clock.h
+                                                 [determinism.md rule 4]
+  DET-SEQ-DRAW       sequential draws from member Rng state
+                     (`rng_.next()`) in src/asmcap decision paths.
+                     Decision streams must be pure forks keyed by
+                     (epoch, read, pass, global segment id); the one
+                     legal shape is the control-plane fork-keying idiom
+                     `rng_.fork(rng_.next())`     [determinism.md rule 1]
+  DET-SLEEP          std::this_thread::sleep_for in src/asmcap —
+                     the engine never sleeps; schedulers wait on state,
+                     tests advance a VirtualClock
+                                               [determinism.md rule 4/9]
+
+Two analysis modes, same rule engine: with python libclang bindings
+installed the file is scrubbed via the real token stream (comments and
+string/char literals dropped by token kind); otherwise a built-in
+lexer-grade scrubber blanks comments and literals. Both preserve byte
+offsets, so findings carry exact line:column either way.
+
+Usage:
+  tools/detlint.py [src ...]      lint these roots (default: src)
+  tools/detlint.py --list-rules   print the rule -> determinism.md table
+  tools/detlint.py --self-test    run the tests/lint_fixtures suite
+
+Fixtures declare intent in comments: `detlint-as: <pretend path>` lints
+the fixture as if it lived at that path (so scoped rules apply), and
+each `detlint-expect: <RULE-ID>` names a rule that MUST fire — the
+self-test fails unless exactly the expected rules trip.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+from dataclasses import dataclass
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SOURCE_SUFFIXES = {".cpp", ".cc", ".h", ".hpp"}
+
+# Paths (repo-relative, '/'-separated) where the source/clock bans do
+# not apply: benches time real work, util/clock.h wraps the one legal
+# clock, util/rng.* implements the stream tree itself, and the lint
+# fixtures trip rules on purpose.
+EXEMPT_PREFIXES = ("bench/", "tests/lint_fixtures/")
+EXEMPT_FILES = ("src/util/clock.h",)
+EXEMPT_STEMS = ("src/util/rng",)
+
+
+def _exempt(rel):
+    return (rel.startswith(EXEMPT_PREFIXES) or rel in EXEMPT_FILES
+            or any(rel.startswith(s + ".") for s in EXEMPT_STEMS))
+
+
+def _in_asmcap(rel):
+    return rel.startswith("src/asmcap/")
+
+
+# The fork-keying idiom determinism.md rule 1 allows on the control
+# plane: the single sequential draw that keys a per-query fork,
+# `rng_.fork(rng_.next())`. Blanked before DET-SEQ-DRAW runs.
+FORK_KEY_IDIOM = re.compile(
+    r"\b([A-Za-z_]\w*_)\s*\.\s*fork\s*\(\s*\1\s*\.\s*next\s*\(\s*\)\s*\)")
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    det_rule: str        # the determinism.md rule this check enforces
+    check: str           # what the check mechanically matches
+    why: str             # the contract, quoted for every finding
+    patterns: tuple      # compiled regexes over the scrubbed text
+    applies: object      # rel-path predicate
+
+
+RULES = (
+    Rule(
+        rule_id="DET-BANNED-SOURCE",
+        det_rule="determinism.md rule 1",
+        check="std::random_device / mt19937 / rand() / srand() outside "
+              "bench/, util/clock.h, util/rng.*",
+        why="every stochastic quantity is drawn from the forkable Rng "
+            "stream tree; ad-hoc RNG state cannot be forked per index",
+        patterns=(
+            re.compile(r"\bstd\s*::\s*random_device\b"),
+            re.compile(r"\bmt19937(?:_64)?\b"),
+            re.compile(r"\bs?rand\s*\("),
+        ),
+        applies=lambda rel: not _exempt(rel),
+    ),
+    Rule(
+        rule_id="DET-WALL-CLOCK",
+        det_rule="determinism.md rule 4",
+        check="system_clock / high_resolution_clock / time() outside "
+              "bench/, util/clock.h, util/rng.*",
+        why="reproducible results must not depend on wall-clock time; "
+            "time reaches the engine only through util/clock.h",
+        patterns=(
+            re.compile(r"\bsystem_clock\b"),
+            re.compile(r"\bhigh_resolution_clock\b"),
+            re.compile(r"(?<![\w.])time\s*\("),
+        ),
+        applies=lambda rel: not _exempt(rel),
+    ),
+    Rule(
+        rule_id="DET-SEQ-DRAW",
+        det_rule="determinism.md rule 1",
+        check="member-Rng sequential draw (`member_.next()`) in "
+              "src/asmcap outside the `x_.fork(x_.next())` idiom",
+        why="decision streams must be pure forks keyed by global "
+            "segment id, never draws from shared sequential state",
+        patterns=(
+            re.compile(r"\b[A-Za-z_]\w*_\s*\.\s*next\s*\(\s*\)"),
+        ),
+        applies=_in_asmcap,
+    ),
+    Rule(
+        rule_id="DET-SLEEP",
+        det_rule="determinism.md rule 4/9",
+        check="std::this_thread::sleep_for in src/asmcap",
+        why="the engine waits on state, never on time; scheduling may "
+            "reorder execution but results may not depend on it",
+        patterns=(
+            re.compile(r"\bsleep_for\s*\("),
+        ),
+        applies=_in_asmcap,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    rel: str
+    line: int
+    col: int
+    rule: Rule
+    excerpt: str
+
+
+# ------------------------------------------------------------- scrubbers --
+# Both scrubbers return text of the SAME length as the input with
+# comments and string/char literals blanked, so regex match offsets map
+# straight back to source positions.
+
+def scrub_manual(text):
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE, BLOCK, STR, CHR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings: R"delim( ... )delim"
+                m = re.match(r'R"([^\s()\\]{0,16})\(', text[i - 1:i + 20])
+                if i > 0 and text[i - 1] == "R" and m:
+                    end = text.find(")" + m.group(1) + '"', i)
+                    end = n if end < 0 else end + len(m.group(1)) + 2
+                    for j in range(i, end):
+                        if out[j] != "\n":
+                            out[j] = " "
+                    i = end
+                    continue
+                state = STR
+                i += 1
+                continue
+            if c == "'":
+                state = CHR
+                i += 1
+                continue
+            i += 1
+            continue
+        if state == LINE:
+            if c == "\n":
+                state = NORMAL
+            else:
+                out[i] = " "
+            i += 1
+            continue
+        if state == BLOCK:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        # STR / CHR: blank until the unescaped closing quote.
+        if c == "\\" and nxt:
+            out[i] = " "
+            if nxt != "\n":
+                out[i + 1] = " "
+            i += 2
+            continue
+        if (state == STR and c == '"') or (state == CHR and c == "'"):
+            state = NORMAL
+        elif c != "\n":
+            out[i] = " "
+        i += 1
+    return "".join(out)
+
+
+def _load_libclang():
+    try:
+        from clang import cindex
+        index = cindex.Index.create()
+        return cindex, index
+    except Exception:
+        return None
+
+
+def scrub_libclang(cindex, index, path, text):
+    """Token-accurate scrub: keep only non-comment, non-literal tokens."""
+    data = text.encode("utf-8")
+    tu = index.parse(str(path), args=["-std=c++20", "-fsyntax-only"],
+                     unsaved_files=[(str(path), data)])
+    out = bytearray(b" " * len(data))
+    for i, b in enumerate(data):
+        if b == 0x0A:
+            out[i] = 0x0A
+    drop = (cindex.TokenKind.COMMENT, cindex.TokenKind.LITERAL)
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        if tok.kind in drop:
+            continue
+        start = tok.extent.start.offset
+        spelling = tok.spelling.encode("utf-8")
+        out[start:start + len(spelling)] = spelling
+    return out.decode("utf-8", errors="replace")
+
+
+# ----------------------------------------------------------- rule engine --
+
+def lint_text(rel, text, scrubbed):
+    findings = []
+    lines = text.splitlines()
+    starts = []  # byte offset of each line start, for offset -> line:col
+    pos = 0
+    for ln in lines:
+        starts.append(pos)
+        pos += len(ln) + 1
+    for rule in RULES:
+        if not rule.applies(rel):
+            continue
+        hay = scrubbed
+        if rule.rule_id == "DET-SEQ-DRAW":
+            hay = FORK_KEY_IDIOM.sub(lambda m: " " * len(m.group(0)), hay)
+        for pat in rule.patterns:
+            for m in pat.finditer(hay):
+                line = _line_of(starts, m.start())
+                col = m.start() - starts[line - 1] + 1
+                excerpt = lines[line - 1].strip() if line <= len(lines) \
+                    else ""
+                findings.append(Finding(rel, line, col, rule, excerpt))
+    findings.sort(key=lambda f: (f.rel, f.line, f.col, f.rule.rule_id))
+    return findings
+
+
+def _line_of(starts, offset):
+    lo, hi = 0, len(starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if starts[mid] <= offset:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+def lint_file(path, rel, libclang):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    scrubbed = None
+    if libclang is not None:
+        try:
+            scrubbed = scrub_libclang(*libclang, path, text)
+        except Exception:
+            scrubbed = None  # fall back rather than fail the run
+    if scrubbed is None or len(scrubbed) != len(text):
+        scrubbed = scrub_manual(text)
+    return lint_text(rel, text, scrubbed)
+
+
+def collect_sources(roots):
+    files = []
+    for root in roots:
+        p = pathlib.Path(root)
+        if not p.is_absolute():
+            p = REPO / p
+        if p.is_file():
+            files.append(p)
+            continue
+        files.extend(f for f in sorted(p.rglob("*"))
+                     if f.suffix in SOURCE_SUFFIXES and f.is_file())
+    return files
+
+
+def rel_of(path):
+    try:
+        return path.resolve().relative_to(REPO).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def print_findings(findings):
+    for f in findings:
+        print(f"{f.rel}:{f.line}:{f.col}: [{f.rule.rule_id}] "
+              f"{f.rule.check}")
+        print(f"    {f.excerpt}")
+        print(f"    -> {f.rule.det_rule}: {f.rule.why}")
+
+
+def print_rules():
+    print("rule -> check -> determinism.md mapping:")
+    for rule in RULES:
+        print(f"  {rule.rule_id:<18} {rule.det_rule}")
+        print(f"    checks: {rule.check}")
+        print(f"    because: {rule.why}")
+
+
+# -------------------------------------------------------------- self-test --
+AS_DIRECTIVE = re.compile(r"detlint-as:\s*(\S+)")
+EXPECT_DIRECTIVE = re.compile(r"detlint-expect:\s*([A-Z-]+)")
+
+
+def self_test(fixture_dir, libclang):
+    fixtures = sorted(pathlib.Path(fixture_dir).glob("*.cpp"))
+    if not fixtures:
+        print(f"FAIL: no fixtures in {fixture_dir}")
+        return 1
+    failures = 0
+    for path in fixtures:
+        text = path.read_text(encoding="utf-8")
+        as_match = AS_DIRECTIVE.search(text)
+        rel = as_match.group(1) if as_match else rel_of(path)
+        expected = set(EXPECT_DIRECTIVE.findall(text))
+        findings = lint_file(path, rel, libclang)
+        fired = {f.rule.rule_id for f in findings}
+        if fired == expected:
+            want = ", ".join(sorted(expected)) or "clean"
+            print(f"PASS: {path.name} (as {rel}): {want}")
+        else:
+            failures += 1
+            print(f"FAIL: {path.name} (as {rel}): expected "
+                  f"{sorted(expected)}, fired {sorted(fired)}")
+            print_findings(findings)
+    if failures:
+        print(f"detlint self-test FAILED: {failures} fixture(s)")
+        return 1
+    print(f"detlint self-test OK: {len(fixtures)} fixture(s)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="determinism lint for docs/determinism.md")
+    parser.add_argument("roots", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule -> determinism.md table")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the negative-fixture suite")
+    parser.add_argument("--fixtures", default=str(REPO / "tests" /
+                                                  "lint_fixtures"),
+                        help="fixture directory for --self-test")
+    opts = parser.parse_args()
+
+    if opts.list_rules:
+        print_rules()
+        return 0
+
+    libclang = _load_libclang()
+    mode = "libclang" if libclang else "token-fallback"
+
+    if opts.self_test:
+        return self_test(opts.fixtures, libclang)
+
+    files = collect_sources(opts.roots)
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path, rel_of(path), libclang))
+    print_findings(findings)
+    if findings:
+        print(f"detlint FAILED ({mode}): {len(findings)} finding(s) in "
+              f"{len(files)} file(s)")
+        return 1
+    print(f"detlint OK ({mode}): {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
