@@ -1,0 +1,113 @@
+#pragma once
+// Reference ingestion: tiles streamed FASTA records into the fixed-width
+// segments the accelerator database stores, loading them incrementally via
+// ShardedAccelerator::append_segments so an arbitrarily large reference is
+// ingested in O(append_batch) working memory. The id <-> (record, offset)
+// mapping is preserved in a ReferenceIndex so search results can be
+// reported against the original record names instead of raw segment ids.
+//
+// Determinism: segments are appended in input order, and append_segments
+// hands out consecutive ascending ids, so the same input file always
+// yields the same id assignment (docs/determinism.md rule 10); by the
+// mutation-history invariance of the live database (rule 8), a database
+// built this way decides bit-identically to load_reference of the same
+// tiles.
+//
+// Ownership: ingest_reference borrows the accelerator, reader, and index
+// for the duration of the call; nothing is retained. Thread-safety: the
+// call drives mutating accelerator entry points, so it follows the
+// single-mutator rule documented in asmcap/sharded.h — do not ingest
+// concurrently with other mutations (concurrent searches are fine).
+// Reentrancy: no callbacks into user code.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genome/sequence.h"
+
+namespace asmcap {
+
+class SeqStreamReader;
+class ShardedAccelerator;
+
+struct IngestOptions {
+  /// Tile width in bases; 0 means the accelerator's config().array_cols
+  /// (the only width the engine can search, so override with care).
+  std::size_t segment_width = 0;
+  /// Segments per append_segments call — the working-memory bound and the
+  /// epoch-publish granularity.
+  std::size_t append_batch = 512;
+  /// A record's trailing partial tile is padded with 'A' to full width
+  /// when true (the deterministic policy the CLI uses), dropped when
+  /// false.
+  bool pad_final_tile = true;
+  /// Fold the hot staging banks into cold storage once ingestion
+  /// finishes (ShardedAccelerator::compact).
+  bool compact_after = true;
+};
+
+struct IngestStats {
+  std::size_t records = 0;
+  std::size_t bases = 0;
+  std::size_t ambiguous_bases = 0;  ///< Non-ACGT characters resolved to 'A'.
+  std::size_t segments = 0;
+  std::size_t padded_segments = 0;    ///< Final tiles padded to full width.
+  std::size_t dropped_tail_bases = 0;  ///< Bases discarded (pad_final_tile off).
+  std::size_t empty_records = 0;       ///< Records too short to yield a tile.
+};
+
+/// Where a segment's bases came from: `record` indexes the ingested
+/// record's name in the ReferenceIndex, `offset` is the 0-based base
+/// offset of the tile within that record.
+struct SegmentOrigin {
+  std::uint32_t record = 0;
+  std::uint64_t offset = 0;
+};
+
+/// Dense id -> (record name, offset) table for every segment one
+/// ingest_reference call appended. Ids are consecutive from first_id()
+/// (append order == input order), so lookup is O(1) vector indexing.
+class ReferenceIndex {
+ public:
+  std::size_t size() const { return origins_.size(); }
+  bool empty() const { return origins_.empty(); }
+  std::uint64_t first_id() const { return first_id_; }
+
+  /// True when `id` belongs to this ingest run.
+  bool contains(std::uint64_t id) const {
+    return id >= first_id_ && id - first_id_ < origins_.size();
+  }
+
+  /// Origin of segment `id`. Throws std::out_of_range for foreign ids.
+  const SegmentOrigin& origin(std::uint64_t id) const;
+
+  /// Name of the `record`-th ingested record.
+  const std::string& record_name(std::uint32_t record) const {
+    return names_.at(record);
+  }
+
+  /// Human-readable "record_name:offset" label for segment `id`; falls
+  /// back to "segment:<id>" for ids this index does not cover.
+  std::string label(std::uint64_t id) const;
+
+ private:
+  friend IngestStats ingest_reference(ShardedAccelerator&, SeqStreamReader&,
+                                      const IngestOptions&, ReferenceIndex*);
+  std::uint64_t first_id_ = 0;
+  bool have_first_ = false;
+  std::vector<std::string> names_;
+  std::vector<SegmentOrigin> origins_;
+};
+
+/// Streams every record out of `reader`, tiles it into fixed-width
+/// segments, and appends them to `db` in batches. When `index` is
+/// non-null it is reset and filled with the id mapping. Throws
+/// StreamParseError on malformed input and DbError (CapacityExceeded)
+/// when the reference outgrows the database.
+IngestStats ingest_reference(ShardedAccelerator& db, SeqStreamReader& reader,
+                             const IngestOptions& options = {},
+                             ReferenceIndex* index = nullptr);
+
+}  // namespace asmcap

@@ -9,9 +9,8 @@
 
 namespace asmcap {
 
-namespace {
-
-void split_header(std::string_view line, std::string& id, std::string& comment) {
+void split_seq_header(std::string_view line, std::string& id,
+                      std::string& comment) {
   line = trim(line);
   const std::size_t space = line.find_first_of(" \t");
   if (space == std::string_view::npos) {
@@ -23,8 +22,6 @@ void split_header(std::string_view line, std::string& id, std::string& comment) 
   }
 }
 
-}  // namespace
-
 std::vector<FastaRecord> read_fasta(std::istream& in,
                                     std::size_t* ambiguous_bases) {
   std::vector<FastaRecord> records;
@@ -35,7 +32,8 @@ std::vector<FastaRecord> read_fasta(std::istream& in,
     if (view.empty()) continue;
     if (view.front() == '>') {
       records.emplace_back();
-      split_header(view.substr(1), records.back().id, records.back().comment);
+      split_seq_header(view.substr(1), records.back().id,
+                       records.back().comment);
       continue;
     }
     if (records.empty())
@@ -99,7 +97,8 @@ std::vector<FastqRecord> read_fastq(std::istream& in) {
     FastqRecord record;
     record.id = std::string(trim(std::string_view(header).substr(1)));
     std::string comment_unused;
-    split_header(std::string_view(header).substr(1), record.id, comment_unused);
+    split_seq_header(std::string_view(header).substr(1), record.id,
+                     comment_unused);
     for (char c : trim(seq_line)) {
       const auto base = base_from_char(c);
       record.seq.push_back(base.value_or(Base::A));

@@ -4,11 +4,19 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "genome/sequence.h"
 
 namespace asmcap {
+
+/// Splits a header line (text after '>' / '@') into `id` (up to the first
+/// whitespace) and `comment` (the trimmed remainder, possibly empty).
+/// Shared by the whole-file readers below and genome/stream_reader.h so
+/// both parse headers identically.
+void split_seq_header(std::string_view line, std::string& id,
+                      std::string& comment);
 
 struct FastaRecord {
   std::string id;       ///< Text after '>' up to the first whitespace.

@@ -1,0 +1,280 @@
+#include "genome/stream_reader.h"
+
+#include <cstdio>
+#include <istream>
+#include <utility>
+
+#include "genome/fasta.h"
+#include "util/strings.h"
+
+#ifdef ASMCAP_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace asmcap {
+
+namespace {
+
+constexpr std::size_t kBufferSize = 64 * 1024;
+
+std::string error_prefix(const std::string& name, std::size_t line) {
+  return name + ":" + std::to_string(line) + ": ";
+}
+
+}  // namespace
+
+const char* to_string(SeqFormat format) {
+  switch (format) {
+    case SeqFormat::Fasta:
+      return "FASTA";
+    case SeqFormat::Fastq:
+      return "FASTQ";
+    default:
+      return "unknown";
+  }
+}
+
+StreamParseError::StreamParseError(const std::string& name, std::size_t line,
+                                   const std::string& message)
+    : std::runtime_error(error_prefix(name, line) + message), line_(line) {}
+
+// ------------------------------------------------------------ byte sources --
+
+struct SeqStreamReader::ByteSource {
+  virtual ~ByteSource() = default;
+  /// Up to `n` bytes into `out`; 0 means end of input. Throws
+  /// std::runtime_error on an I/O error.
+  virtual std::size_t read(char* out, std::size_t n) = 0;
+};
+
+struct SeqStreamReader::FileSource : SeqStreamReader::ByteSource {
+  FileSource(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~FileSource() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  std::size_t read(char* out, std::size_t n) override {
+    const std::size_t got = std::fread(out, 1, n, file_);
+    if (got < n && std::ferror(file_) != 0)
+      throw std::runtime_error("I/O error reading " + path_);
+    return got;
+  }
+  std::FILE* file_;
+  std::string path_;
+};
+
+struct SeqStreamReader::IstreamSource : SeqStreamReader::ByteSource {
+  explicit IstreamSource(std::istream& in) : in_(&in) {}
+  std::size_t read(char* out, std::size_t n) override {
+    in_->read(out, static_cast<std::streamsize>(n));
+    if (in_->bad()) throw std::runtime_error("I/O error reading stream");
+    return static_cast<std::size_t>(in_->gcount());
+  }
+  std::istream* in_;
+};
+
+#ifdef ASMCAP_HAVE_ZLIB
+struct SeqStreamReader::GzipSource : SeqStreamReader::ByteSource {
+  GzipSource(gzFile file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~GzipSource() override {
+    if (file_ != nullptr) gzclose(file_);
+  }
+  std::size_t read(char* out, std::size_t n) override {
+    const int got = gzread(file_, out, static_cast<unsigned>(n));
+    if (got < 0) {
+      int errnum = 0;
+      const char* message = gzerror(file_, &errnum);
+      throw std::runtime_error("gzip error reading " + path_ + ": " +
+                               (message != nullptr ? message : "?"));
+    }
+    return static_cast<std::size_t>(got);
+  }
+  gzFile file_;
+  std::string path_;
+};
+#endif
+
+// ---------------------------------------------------------------- reader --
+
+SeqStreamReader::SeqStreamReader(const std::string& path) : name_(path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr)
+    throw std::runtime_error("cannot open sequence file: " + path);
+  unsigned char magic[2] = {0, 0};
+  const std::size_t got = std::fread(magic, 1, 2, file);
+  const bool gzipped = got == 2 && magic[0] == 0x1F && magic[1] == 0x8B;
+  if (gzipped) {
+    std::fclose(file);
+#ifdef ASMCAP_HAVE_ZLIB
+    gzFile gz = gzopen(path.c_str(), "rb");
+    if (gz == nullptr)
+      throw std::runtime_error("cannot open gzip sequence file: " + path);
+    source_ = std::make_unique<GzipSource>(gz, path);
+#else
+    throw std::runtime_error("gzip-compressed input but this build has no "
+                             "zlib (decompress first): " +
+                             path);
+#endif
+  } else {
+    std::rewind(file);
+    source_ = std::make_unique<FileSource>(file, path);
+  }
+  buffer_.resize(kBufferSize);
+}
+
+SeqStreamReader::SeqStreamReader(std::istream& in, std::string name)
+    : name_(std::move(name)), source_(std::make_unique<IstreamSource>(in)) {
+  buffer_.resize(kBufferSize);
+}
+
+SeqStreamReader::~SeqStreamReader() = default;
+
+void SeqStreamReader::fail(std::size_t line,
+                           const std::string& message) const {
+  throw StreamParseError(name_, line, message);
+}
+
+bool SeqStreamReader::read_line(std::string& out) {
+  out.clear();
+  bool any = false;
+  for (;;) {
+    if (buffer_pos_ == buffer_end_) {
+      if (eof_) break;
+      buffer_end_ = source_->read(buffer_.data(), buffer_.size());
+      buffer_pos_ = 0;
+      if (buffer_end_ == 0) {
+        eof_ = true;
+        break;
+      }
+    }
+    const char* begin = buffer_.data() + buffer_pos_;
+    const char* end = buffer_.data() + buffer_end_;
+    const char* newline = begin;
+    while (newline != end && *newline != '\n') ++newline;
+    out.append(begin, newline);
+    any = true;
+    if (newline != end) {
+      buffer_pos_ = static_cast<std::size_t>(newline - buffer_.data()) + 1;
+      break;
+    }
+    buffer_pos_ = buffer_end_;
+  }
+  if (!any && out.empty() && eof_ && buffer_pos_ == buffer_end_)
+    return false;
+  if (!out.empty() && out.back() == '\r') out.pop_back();
+  ++line_;
+  return true;
+}
+
+bool SeqStreamReader::next_content_line(std::string& out) {
+  if (has_pending_) {
+    out = std::move(pending_);
+    has_pending_ = false;
+    line_ = pending_line_;
+    return true;
+  }
+  while (read_line(out)) {
+    if (!trim(out).empty()) return true;
+  }
+  return false;
+}
+
+void SeqStreamReader::detect_format(const std::string& first_line) {
+  const std::string_view view = trim(first_line);
+  if (view.front() == '>') {
+    format_ = SeqFormat::Fasta;
+  } else if (view.front() == '@') {
+    format_ = SeqFormat::Fastq;
+  } else {
+    fail(line_, std::string("unrecognised format: first byte '") +
+                    view.front() +
+                    "' is neither '>' (FASTA) nor '@' (FASTQ)");
+  }
+}
+
+void SeqStreamReader::append_bases(Sequence& seq, std::string_view text) {
+  for (char c : text) {
+    if (const auto base = base_from_char(c)) {
+      seq.push_back(*base);
+    } else {
+      ++ambiguous_;
+      seq.push_back(Base::A);
+    }
+    ++bases_;
+  }
+}
+
+bool SeqStreamReader::next(SeqRecord& record) {
+  std::string line;
+  if (!next_content_line(line)) return false;
+  if (format_ == SeqFormat::Unknown) detect_format(line);
+  // Hand the line back so the per-format parsers see the same stream.
+  pending_ = std::move(line);
+  pending_line_ = line_;
+  has_pending_ = true;
+  const bool got = format_ == SeqFormat::Fasta ? next_fasta(record)
+                                               : next_fastq(record);
+  if (got) ++records_;
+  return got;
+}
+
+bool SeqStreamReader::next_fasta(SeqRecord& record) {
+  std::string line;
+  if (!next_content_line(line)) return false;
+  const std::string_view view = trim(line);
+  if (view.front() != '>')
+    fail(line_, "FASTA: sequence data before any header");
+  record.quality.clear();
+  record.seq.clear();
+  split_seq_header(view.substr(1), record.id, record.comment);
+  // Accumulate wrapped sequence lines until the next header or the end.
+  while (read_line(line)) {
+    const std::string_view data = trim(line);
+    if (data.empty()) continue;
+    if (data.front() == '>') {
+      pending_ = std::move(line);
+      pending_line_ = line_;
+      has_pending_ = true;
+      break;
+    }
+    append_bases(record.seq, data);
+  }
+  return true;
+}
+
+bool SeqStreamReader::next_fastq(SeqRecord& record) {
+  std::string header;
+  if (!next_content_line(header)) return false;
+  const std::size_t header_line = line_;
+  if (header.empty() || header[0] != '@')
+    fail(header_line, "FASTQ: expected '@' header, got: " + header);
+  std::string seq_line;
+  std::string plus_line;
+  std::string qual_line;
+  if (!read_line(seq_line) || !read_line(plus_line) ||
+      !read_line(qual_line))
+    fail(line_, "FASTQ: truncated record (header at line " +
+                    std::to_string(header_line) + "): " + header);
+  if (plus_line.empty() || plus_line[0] != '+')
+    fail(line_ - 1, "FASTQ: missing '+' separator: " + header);
+  split_seq_header(std::string_view(header).substr(1), record.id,
+                   record.comment);
+  record.seq.clear();
+  append_bases(record.seq, trim(seq_line));
+  record.quality = std::string(trim(qual_line));
+  if (record.quality.size() != record.seq.size())
+    fail(line_, "FASTQ: quality length mismatch: " + header);
+  return true;
+}
+
+std::vector<SeqRecord> SeqStreamReader::read_chunk(std::size_t max_records) {
+  std::vector<SeqRecord> chunk;
+  chunk.reserve(max_records);
+  SeqRecord record;
+  while (chunk.size() < max_records && next(record))
+    chunk.push_back(std::move(record));
+  return chunk;
+}
+
+}  // namespace asmcap
